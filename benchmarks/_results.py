@@ -1,0 +1,13 @@
+"""Persistence for regenerated tables/figures (pytest captures stdout)."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def save_result(name: str, text: str) -> None:
+    """Write a regenerated table/figure to ``benchmarks/results/``."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")

@@ -1,0 +1,40 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``test_table*.py`` / ``test_fig*.py`` file regenerates one table or
+figure of the paper: a module-scoped fixture runs the experiment driver
+once and prints the same rows/series the paper reports, while the
+``benchmark``-marked tests time the constituent operations at paper-scale
+parameters.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+
+import numpy as np
+import pytest
+
+from repro.data.adult import synthesize_adult
+from repro.data.simulated import simulate_paper_data
+
+
+
+@pytest.fixture(scope="session")
+def paper_scale_split():
+    """The paper's simulated sizes: nR = 500, nA = 5000."""
+    return simulate_paper_data(n_research=500, n_archive=5000, rng=2024)
+
+
+@pytest.fixture(scope="session")
+def adult_scale_split():
+    """The paper's Adult sizes: nR = 10,000 of 45,222 total."""
+    data = synthesize_adult(45_222, rng=2024)
+    return data.split(n_research=10_000, rng=2024)
+
+
+@pytest.fixture(scope="session")
+def bench_rng():
+    return np.random.default_rng(99)

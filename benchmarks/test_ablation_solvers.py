@@ -1,0 +1,106 @@
+"""Ablation: plan-solver choice (DESIGN.md §6.2).
+
+The paper quotes ``O(n_Q³ log n_Q)`` for exact unregularised OT and
+``O(n_Q²/ε²)`` for Sinkhorn.  On the shared 1-D grids of Algorithm 1 the
+monotone coupling gives the exact plan in ``O(n_Q)`` — this ablation
+measures all three and checks that the repair *quality* is unaffected by
+the (much cheaper) exact 1-D path while entropic blurring costs a little
+quality at large ``ε``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.repair import DistributionalRepairer
+from repro.metrics.fairness import conditional_dependence_energy
+from repro.ot.cost import squared_euclidean_cost
+from repro.ot.network_simplex import transport_simplex
+from repro.ot.onedim import solve_1d
+from repro.ot.sinkhorn import sinkhorn
+
+
+@pytest.fixture(scope="module")
+def grid_problem(bench_rng):
+    n_q = 50
+    nodes = np.linspace(-3.0, 3.0, n_q)
+    mu = np.exp(-0.5 * (nodes + 1.0) ** 2)
+    nu = np.exp(-0.5 * (nodes - 1.0) ** 2)
+    return nodes, mu / mu.sum(), nu / nu.sum()
+
+
+def test_solver_exact_1d(benchmark, grid_problem):
+    nodes, mu, nu = grid_problem
+    benchmark(solve_1d, nodes, mu, nodes, nu)
+
+
+def test_solver_simplex(benchmark, grid_problem):
+    nodes, mu, nu = grid_problem
+    cost = squared_euclidean_cost(nodes.reshape(-1, 1),
+                                  nodes.reshape(-1, 1))
+    benchmark.pedantic(transport_simplex, args=(cost, mu, nu), rounds=3,
+                       iterations=1)
+
+
+def test_solver_sinkhorn(benchmark, grid_problem):
+    nodes, mu, nu = grid_problem
+    cost = squared_euclidean_cost(nodes.reshape(-1, 1),
+                                  nodes.reshape(-1, 1))
+    benchmark(sinkhorn, cost, mu, nu, epsilon=5e-3, tol=1e-8,
+              raise_on_failure=False)
+
+
+def test_solver_choice_preserves_repair_quality(benchmark,
+                                                paper_scale_split):
+    """Repair E must be solver-independent for exact paths and close for
+    the entropic one."""
+    def sweep():
+        energies = {}
+        for solver in ("exact", "sinkhorn"):
+            repairer = DistributionalRepairer(n_states=50, solver=solver,
+                                              epsilon=1e-3, rng=1)
+            repairer.fit(paper_scale_split.research)
+            repaired = repairer.transform(paper_scale_split.archive,
+                                          rng=2)
+            energies[solver] = conditional_dependence_energy(
+                repaired.features, repaired.s, repaired.u).total
+        return energies
+
+    energies = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print(f"\nsolver ablation E: {energies}")
+    assert energies["sinkhorn"] < 3.0 * energies["exact"] + 0.05
+
+
+def test_entropic_blurring_trades_damage_for_independence(
+        benchmark, paper_scale_split):
+    """Large ε blurs the plan toward the independent coupling.
+
+    In the extreme, every point is repaired by a fresh draw from the
+    barycentre — conditional independence becomes *perfect* (tiny E), but
+    the repaired features retain no information about the originals: the
+    feature-space damage explodes.  This is the ε-facet of the
+    repair/damage trade-off (paper Section VI).
+    """
+    from repro.core.partial import repair_damage
+
+    def sweep():
+        results = {}
+        for epsilon in (1e-3, 0.5):
+            repairer = DistributionalRepairer(
+                n_states=50, solver="sinkhorn", epsilon=epsilon, rng=1)
+            repairer.fit(paper_scale_split.research)
+            repaired = repairer.transform(paper_scale_split.archive,
+                                          rng=2)
+            energy = conditional_dependence_energy(
+                repaired.features, repaired.s, repaired.u).total
+            damage = repair_damage(paper_scale_split.archive,
+                                   repaired)["total_rms"]
+            results[epsilon] = (energy, damage)
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print(f"\nepsilon ablation (E, damage): {results}")
+    # Blur may help E (independent coupling is perfectly fair) but must
+    # cost substantially more damage than the near-exact plan.
+    assert results[0.5][1] > 1.2 * results[1e-3][1]

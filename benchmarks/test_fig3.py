@@ -1,0 +1,44 @@
+"""Benchmark + regeneration of Figure 3 (E vs research-set size).
+
+Prints the three series of the figure and benchmarks how the design cost
+scales with ``n_R`` (it should be mild: the KDE interpolation is
+``O(n_R · n_Q)`` and the plan solve is independent of ``n_R``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.design import design_repair
+from repro.data.simulated import simulate_paper_data
+from repro.experiments.fig3 import Fig3Config, run_fig3
+
+
+def test_fig3_regenerated(benchmark):
+    """Regenerate the Figure 3 series (timed once); assert its shape."""
+    config = Fig3Config(research_sizes=(25, 50, 100, 200, 300, 500, 750),
+                        n_repeats=5, seed=2024)
+    r = benchmark.pedantic(run_fig3, args=(config,), rounds=1,
+                           iterations=1)
+    text = (r.render() + "\nRepaired-archive E within 50% of final by "
+            f"nR = {r.converged_by()}")
+    from _results import save_result
+    save_result("fig3", text)
+    print()
+    print(text)
+    # Repaired values sit far below the unrepaired reference for all but
+    # possibly the smallest research sizes.
+    assert np.all(r.repaired_archive[2:] < r.unrepaired[2:] / 2.0)
+    # Convergence: by nR = 500 (10% of nA) the archive E is within 50% of
+    # the final sweep value — the paper's headline claim.
+    assert r.converged_by(rtol=0.5) <= 500
+    # Off-sample repair remains harder than on-sample at convergence.
+    assert r.repaired_archive[-1] > r.repaired_research[-1]
+
+
+@pytest.mark.parametrize("n_research", [50, 200, 750])
+def test_design_scaling_in_research_size(benchmark, n_research):
+    split = simulate_paper_data(n_research=n_research, n_archive=100,
+                                rng=7)
+    benchmark(design_repair, split.research, 50)

@@ -1,0 +1,43 @@
+"""Benchmark + regeneration of Figure 4 (E vs grid resolution nQ).
+
+Prints the figure's series and benchmarks how the design cost scales with
+``n_Q`` for the three solvers — the compression argument of Section V-A2b:
+exact unregularised OT is cubic in ``n_Q``, Sinkhorn quadratic, and the
+1-D monotone solver linear, so small ``n_Q`` (the figure shows ~30
+suffices) is what makes the method cheap.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.design import design_repair
+from repro.experiments.fig4 import Fig4Config, run_fig4
+
+
+def test_fig4_regenerated(benchmark):
+    """Regenerate the Figure 4 series (timed once); assert its shape."""
+    r = benchmark.pedantic(run_fig4, args=(Fig4Config(n_repeats=5,
+                                                      seed=2024),),
+                           rounds=1, iterations=1)
+    text = (r.render()
+            + f"\nE within 25% of final by nQ = {r.convergence_threshold()}")
+    from _results import save_result
+    save_result("fig4", text)
+    print()
+    print(text)
+    # The coarsest grids are clearly worse than the finest.
+    assert r.composite_energy[0] > 2.0 * r.composite_energy[-1]
+    # Performance has converged by nQ around the paper's ~30 threshold.
+    assert r.convergence_threshold(rtol=0.5) <= 30
+    # Beyond the threshold the curve is flat: last three values within a
+    # factor of two of each other.
+    tail = r.composite_energy[-3:]
+    assert tail.max() < 2.5 * tail.min()
+
+
+@pytest.mark.parametrize("n_states", [10, 50, 250])
+def test_design_scaling_in_resolution(benchmark, paper_scale_split,
+                                      n_states):
+    benchmark(design_repair, paper_scale_split.research, n_states)

@@ -1,0 +1,51 @@
+"""Solver scaling in the grid resolution (the complexity table of §IV-A1).
+
+The paper's computational argument rests on the plan support being the
+interpolated grid ``Q`` (size ``n_Q``) rather than the data (size ``n``):
+exact unregularised OT scales cubically in its support, Sinkhorn
+quadratically, and the 1-D monotone solver linearly.  These benches make
+the scaling measurable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ot.cost import squared_euclidean_cost
+from repro.ot.network_simplex import transport_simplex
+from repro.ot.onedim import solve_1d
+from repro.ot.sinkhorn import sinkhorn
+
+
+def _problem(n_q: int):
+    nodes = np.linspace(-3.0, 3.0, n_q)
+    mu = np.exp(-0.5 * (nodes + 1.0) ** 2)
+    nu = np.exp(-0.5 * (nodes - 1.0) ** 2)
+    return nodes, mu / mu.sum(), nu / nu.sum()
+
+
+@pytest.mark.parametrize("n_q", [25, 50, 100, 250])
+def test_exact_1d_scaling(benchmark, n_q):
+    nodes, mu, nu = _problem(n_q)
+    benchmark(solve_1d, nodes, mu, nodes, nu)
+
+
+@pytest.mark.parametrize("n_q", [25, 50, 100])
+def test_sinkhorn_scaling(benchmark, n_q):
+    nodes, mu, nu = _problem(n_q)
+    cost = squared_euclidean_cost(nodes.reshape(-1, 1),
+                                  nodes.reshape(-1, 1))
+    benchmark.pedantic(sinkhorn, args=(cost, mu, nu),
+                       kwargs={"epsilon": 1e-2, "tol": 1e-8,
+                               "raise_on_failure": False},
+                       rounds=3, iterations=1)
+
+
+@pytest.mark.parametrize("n_q", [15, 30, 60])
+def test_simplex_scaling(benchmark, n_q):
+    nodes, mu, nu = _problem(n_q)
+    cost = squared_euclidean_cost(nodes.reshape(-1, 1),
+                                  nodes.reshape(-1, 1))
+    benchmark.pedantic(transport_simplex, args=(cost, mu, nu), rounds=3,
+                       iterations=1)

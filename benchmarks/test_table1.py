@@ -1,0 +1,69 @@
+"""Benchmark + regeneration of Table I (simulated repair comparison).
+
+Prints the full Monte-Carlo table (the paper's Table I layout) once, and
+benchmarks the two pieces whose cost the paper discusses: the Algorithm-1
+design at ``n_Q = 50`` and the Algorithm-2 off-sample repair of the 5,000
+archival points.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.design import design_repair
+from repro.core.geometric import GeometricRepairer
+from repro.core.repair import DistributionalRepairer, repair_dataset
+from repro.experiments.table1 import Table1Config, run_table1
+
+
+def test_table1_regenerated(benchmark):
+    """Regenerate Table I (timed once) and assert the paper's orderings."""
+    r = benchmark.pedantic(
+        run_table1, args=(Table1Config(n_repeats=10, seed=2024),),
+        rounds=1, iterations=1)
+    from _results import save_result
+    save_result("table1", r.render())
+    print()
+    print(r.render())
+    # Repair quenches dependence by at least an order of magnitude on the
+    # research data, and strongly on the archive.
+    assert np.all(r.distributional_research.mean
+                  < r.unrepaired_research.mean / 10.0)
+    assert np.all(r.distributional_archive.mean
+                  < r.unrepaired_archive.mean / 3.0)
+    # The on-sample geometric repair is the tightest, as in the paper.
+    assert np.all(r.geometric_research.mean
+                  <= r.distributional_research.mean * 1.2)
+    # Off-sample repair is the harder regime.
+    assert np.all(r.distributional_archive.mean
+                  > r.distributional_research.mean)
+
+
+def test_design_cost_nq50(benchmark, paper_scale_split):
+    """Algorithm 1 at the paper's settings (nR=500, nQ=50, d=2)."""
+    benchmark(design_repair, paper_scale_split.research, 50)
+
+
+def test_offsample_repair_cost(benchmark, paper_scale_split):
+    """Algorithm 2 over the full 5,000-point archive."""
+    plan = design_repair(paper_scale_split.research, 50)
+    rng = np.random.default_rng(0)
+    benchmark(repair_dataset, paper_scale_split.archive, plan, rng=rng)
+
+
+def test_geometric_repair_cost(benchmark, paper_scale_split):
+    """The on-sample geometric baseline on the research set."""
+    repairer = GeometricRepairer()
+    benchmark(repairer.fit_transform, paper_scale_split.research)
+
+
+def test_end_to_end_trial_cost(benchmark, paper_scale_split):
+    """One full fit + on/off-sample repair cycle."""
+    def trial():
+        repairer = DistributionalRepairer(n_states=50, rng=1)
+        repairer.fit(paper_scale_split.research)
+        repairer.transform(paper_scale_split.research)
+        repairer.transform(paper_scale_split.archive)
+
+    benchmark(trial)

@@ -1,0 +1,38 @@
+"""Study the operating conditions n_R and n_Q (paper Section V-A2).
+
+Reproduces, at reduced Monte-Carlo budget, the two design-knob studies:
+
+* Figure 3 — how much research data the repair needs (``E`` vs ``n_R``),
+* Figure 4 — how fine the interpolated support must be (``E`` vs ``n_Q``),
+
+and prints the convergence points the paper reads off the figures.
+
+Run with::
+
+    python examples/operating_conditions.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig3 import Fig3Config, run_fig3
+from repro.experiments.fig4 import Fig4Config, run_fig4
+
+
+def main() -> None:
+    fig3 = run_fig3(Fig3Config(research_sizes=(25, 50, 100, 200, 350,
+                                               500, 750),
+                               n_repeats=5, seed=0))
+    print(fig3.render())
+    print(f"-> archive repair within 50% of its final quality by "
+          f"nR = {fig3.converged_by()} "
+          f"({fig3.converged_by() / 5000:.0%} of the archive size)\n")
+
+    fig4 = run_fig4(Fig4Config(n_repeats=5, seed=0))
+    print(fig4.render())
+    print(f"-> composite repair converged by nQ = "
+          f"{fig4.convergence_threshold()} "
+          "(an order of magnitude fewer states than research points)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""Quickstart: repair archival data with a small research data set.
+
+The 60-second tour of the library on the paper's simulated data:
+
+1. draw a composite data set from the Section V-A Gaussian mixture,
+2. split it into a small labelled *research* set and a large *archive*,
+3. design the OT repair on the research data (Algorithm 1),
+4. repair the archive off-sample (Algorithm 2), and
+5. measure the conditional-dependence reduction with the ``E`` metric.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import (DistributionalRepairer, conditional_dependence_energy,
+                   simulate_paper_data)
+
+
+def main() -> None:
+    # 1-2. Simulate and split: 500 research points vs 5,000 archival.
+    split = simulate_paper_data(n_research=500, n_archive=5000, rng=0)
+    research, archive = split.research, split.archive
+    print(f"research: {len(research)} rows, archive: {len(archive)} rows")
+    print(f"(u, s) subgroup sizes: {research.group_sizes()}")
+
+    # How unfair are the raw data?  E is the Pr[u]-weighted symmetrised
+    # KL divergence between the s-conditional feature distributions.
+    before = conditional_dependence_energy(archive.features, archive.s,
+                                           archive.u)
+    print(f"\nunrepaired archive:  E per feature = {before.per_feature}"
+          f"  total = {before.total:.4f}")
+
+    # 3. Algorithm 1: design per-(u, s, feature) OT plans on a 50-state
+    #    interpolated support.
+    repairer = DistributionalRepairer(n_states=50, rng=1)
+    repairer.fit(research)
+    plan = repairer.plan
+    print(f"\ndesigned {len(plan.feature_plans)} feature plans "
+          f"({plan.total_states()} grid states in total)")
+
+    # 4. Algorithm 2: repair the archive off-sample.  The plans never see
+    #    these 5,000 points during design.
+    repaired = repairer.transform(archive)
+
+    # 5. Measure again.
+    after = conditional_dependence_energy(repaired.features, repaired.s,
+                                          repaired.u)
+    print(f"repaired archive:    E per feature = {after.per_feature}"
+          f"  total = {after.total:.4f}")
+    print(f"\nconditional dependence reduced "
+          f"{before.total / after.total:.1f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""Streaming repair of an unbounded archival torrent.
+
+The paper's motivating deployment: the repair plans are designed *once*
+on a small research data set, then applied online to archival batches as
+they arrive — here an unbounded feed simulated by a generator callback.
+The protected attribute of the stream is never observed; it is estimated
+per batch with the research-fitted mixture model (Section IV requirement
+5 / Section VI).
+
+Run with::
+
+    python examples/streaming_archival_repair.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (ArchiveStream, RepairPipeline,
+                   conditional_dependence_energy, paper_simulation_spec)
+
+
+def main() -> None:
+    spec = paper_simulation_spec()
+
+    # Small, fully-labelled research set (the only labelled data we get).
+    research = spec.sample(600, rng=0)
+    print(f"research set: {len(research)} labelled rows")
+
+    # The pipeline fits Algorithm 1 plus an s|u label model.
+    pipeline = RepairPipeline(estimate_labels=True, n_states=50, rng=1)
+    pipeline.fit(research)
+    print("repair plans + label model fitted\n")
+
+    # An unbounded archival feed: each call yields a fresh batch whose
+    # s labels will be *discarded* to simulate unlabelled archives (the
+    # pipeline re-estimates them before repairing).
+    feed_rng = np.random.default_rng(42)
+
+    def feed():
+        return spec.sample(1000, rng=feed_rng)
+
+    stream = ArchiveStream(feed, max_batches=8)
+
+    # Two accountability views per batch:
+    #  * "est"  — E measured against the estimated labels the repair acted
+    #    on (what the pipeline can be held to);
+    #  * "true" — E against the hidden true labels (how much *real*
+    #    unfairness was removed despite label errors).
+    print(f"{'batch':>5} {'E est before':>13} {'E est after':>12} "
+          f"{'E true before':>14} {'E true after':>13} {'label acc':>10}")
+    total_rows = 0
+    for index, batch in enumerate(stream):
+        estimated = pipeline.label_model.label_archive(batch)
+        accuracy = float(np.mean(estimated.s == batch.s))
+        repaired = pipeline.repairer.transform(estimated)
+        est_before = conditional_dependence_energy(
+            batch.features, estimated.s, batch.u).total
+        est_after = conditional_dependence_energy(
+            repaired.features, estimated.s, batch.u).total
+        true_before = conditional_dependence_energy(
+            batch.features, batch.s, batch.u).total
+        true_after = conditional_dependence_energy(
+            repaired.features, batch.s, batch.u).total
+        total_rows += len(batch)
+        print(f"{index:>5} {est_before:>13.3f} {est_after:>12.3f} "
+              f"{true_before:>14.3f} {true_after:>13.3f} "
+              f"{accuracy:>10.3f}")
+
+    print(f"\nrepaired {total_rows} archival rows with plans designed on "
+          f"{len(research)} research rows — the design was never updated")
+    print("note: ~15% label error blunts the true-label repair — the "
+          "paper's assumption of low-error s|u labels is load-bearing")
+
+
+if __name__ == "__main__":
+    main()

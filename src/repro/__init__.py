@@ -1,0 +1,96 @@
+"""repro — OT-based fairness repair of archival data from small research sets.
+
+Reproduction of Langbridge, Quinn & Shorten, *"Optimal Transport for
+Fairness: Archival Data Repair using Small Research Data Sets"* (ICDE 2024).
+
+Quick tour
+----------
+
+>>> from repro import simulate_paper_data, DistributionalRepairer
+>>> from repro import conditional_dependence_energy
+>>> split = simulate_paper_data(n_research=500, n_archive=5000, rng=0)
+>>> repairer = DistributionalRepairer(n_states=50, rng=0)
+>>> _ = repairer.fit(split.research)                  # Algorithm 1
+>>> repaired = repairer.transform(split.archive)      # Algorithm 2
+>>> report = conditional_dependence_energy(
+...     repaired.features, repaired.s, repaired.u)
+>>> report.total < 2.0
+True
+
+Subpackages
+-----------
+
+``repro.ot``
+    Optimal-transport substrate (exact 1-D, simplex, Sinkhorn,
+    barycentres).
+``repro.density``
+    KDE, bandwidth selection, interpolation grids.
+``repro.metrics``
+    Divergences, the paper's ``E`` measure, fairness proxies.
+``repro.data``
+    Dataset container, simulators, Adult loader/synthesiser, streaming.
+``repro.core``
+    Algorithms 1 & 2, the geometric baseline, partial repair, label
+    estimation, the end-to-end pipeline.
+``repro.classify``
+    Logistic regression and naive Bayes for DI evaluation.
+``repro.experiments``
+    Drivers that regenerate every table and figure of the paper.
+"""
+
+from .classify import GaussianNaiveBayes, LogisticRegression
+from .core import (DistributionalRepairer, DriftMonitor, GeometricRepairer,
+                   PartialRepairer, RepairPipeline, RepairPlan, RepairReport,
+                   SubgroupLabelModel, design_repair, load_plan,
+                   repair_damage, repair_dataset, save_plan)
+from .data import (ArchiveStream, AttributeBinner, FairnessDataset,
+                   GaussianMixtureSpec, ResearchArchiveSplit, TableSchema,
+                   load_adult_csv, paper_simulation_spec,
+                   simulate_paper_data, synthesize_adult)
+from .exceptions import (ConvergenceError, DataError, InfeasibleProblemError,
+                         NotFittedError, ReproError, SchemaError,
+                         ValidationError)
+from .metrics import (conditional_dependence_energy, disparate_impact,
+                      conditional_disparate_impact, symmetric_kl)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ArchiveStream",
+    "AttributeBinner",
+    "ConvergenceError",
+    "DataError",
+    "DistributionalRepairer",
+    "DriftMonitor",
+    "FairnessDataset",
+    "GaussianMixtureSpec",
+    "GaussianNaiveBayes",
+    "GeometricRepairer",
+    "InfeasibleProblemError",
+    "LogisticRegression",
+    "NotFittedError",
+    "PartialRepairer",
+    "RepairPipeline",
+    "RepairPlan",
+    "RepairReport",
+    "ReproError",
+    "ResearchArchiveSplit",
+    "SchemaError",
+    "SubgroupLabelModel",
+    "TableSchema",
+    "ValidationError",
+    "__version__",
+    "conditional_dependence_energy",
+    "conditional_disparate_impact",
+    "design_repair",
+    "disparate_impact",
+    "load_adult_csv",
+    "load_plan",
+    "paper_simulation_spec",
+    "save_plan",
+    "repair_damage",
+    "repair_dataset",
+    "simulate_paper_data",
+    "symmetric_kl",
+    "synthesize_adult",
+]

@@ -1,0 +1,143 @@
+"""Shared argument-validation helpers.
+
+These helpers normalise user input into canonical numpy arrays and raise
+:class:`~repro.exceptions.ValidationError` with actionable messages.  They are
+deliberately small and composable so that public functions can state their
+contracts in two or three lines.
+"""
+
+from __future__ import annotations
+
+import numbers
+
+import numpy as np
+
+from .exceptions import ValidationError
+
+__all__ = [
+    "as_1d_array",
+    "as_2d_array",
+    "as_probability_vector",
+    "check_same_length",
+    "check_positive_int",
+    "check_in_range",
+    "check_probability",
+    "as_rng",
+]
+
+
+def as_1d_array(values, *, name: str = "array", dtype=float) -> np.ndarray:
+    """Coerce ``values`` to a 1-D numpy array of ``dtype``.
+
+    Raises
+    ------
+    ValidationError
+        If the input is empty, has more than one dimension, or contains
+        non-finite entries.
+    """
+    arr = np.asarray(values, dtype=dtype)
+    if arr.ndim == 0:
+        arr = arr.reshape(1)
+    if arr.ndim != 1:
+        raise ValidationError(
+            f"{name} must be one-dimensional, got shape {arr.shape}")
+    if arr.size == 0:
+        raise ValidationError(f"{name} must be non-empty")
+    if np.issubdtype(arr.dtype, np.floating) and not np.all(np.isfinite(arr)):
+        raise ValidationError(f"{name} contains NaN or infinite entries")
+    return arr
+
+
+def as_2d_array(values, *, name: str = "array", dtype=float) -> np.ndarray:
+    """Coerce ``values`` to a 2-D numpy array (rows = observations)."""
+    arr = np.asarray(values, dtype=dtype)
+    if arr.ndim == 1:
+        arr = arr.reshape(-1, 1)
+    if arr.ndim != 2:
+        raise ValidationError(
+            f"{name} must be two-dimensional, got shape {arr.shape}")
+    if arr.size == 0:
+        raise ValidationError(f"{name} must be non-empty")
+    if np.issubdtype(arr.dtype, np.floating) and not np.all(np.isfinite(arr)):
+        raise ValidationError(f"{name} contains NaN or infinite entries")
+    return arr
+
+
+def as_probability_vector(values, *, name: str = "weights",
+                          atol: float = 1e-8,
+                          normalize: bool = False) -> np.ndarray:
+    """Coerce ``values`` to a probability vector (non-negative, sums to 1).
+
+    Parameters
+    ----------
+    normalize:
+        When true, rescale a non-negative vector with positive mass to sum to
+        one instead of rejecting it.
+    """
+    arr = as_1d_array(values, name=name)
+    if np.any(arr < -atol):
+        raise ValidationError(f"{name} must be non-negative")
+    arr = np.clip(arr, 0.0, None)
+    total = float(arr.sum())
+    if total <= 0.0:
+        raise ValidationError(f"{name} must have positive total mass")
+    if normalize:
+        return arr / total
+    if abs(total - 1.0) > max(atol, 1e-6):
+        raise ValidationError(
+            f"{name} must sum to 1 (got {total!r}); "
+            "pass normalize=True to rescale")
+    return arr / total
+
+
+def check_same_length(a: np.ndarray, b: np.ndarray, *,
+                      names: tuple[str, str] = ("a", "b")) -> None:
+    """Raise unless ``a`` and ``b`` have equal leading dimension."""
+    if len(a) != len(b):
+        raise ValidationError(
+            f"{names[0]} and {names[1]} must have the same length "
+            f"({len(a)} != {len(b)})")
+
+
+def check_positive_int(value, *, name: str = "value",
+                       minimum: int = 1) -> int:
+    """Validate an integral value >= ``minimum`` and return it as ``int``."""
+    if not isinstance(value, numbers.Integral):
+        raise ValidationError(f"{name} must be an integer, got {value!r}")
+    ivalue = int(value)
+    if ivalue < minimum:
+        raise ValidationError(f"{name} must be >= {minimum}, got {ivalue}")
+    return ivalue
+
+
+def check_in_range(value, *, name: str, low: float, high: float,
+                   inclusive: bool = True) -> float:
+    """Validate a scalar within ``[low, high]`` (or the open interval)."""
+    if not isinstance(value, numbers.Real):
+        raise ValidationError(f"{name} must be a real number, got {value!r}")
+    fvalue = float(value)
+    if inclusive:
+        ok = low <= fvalue <= high
+        bounds = f"[{low}, {high}]"
+    else:
+        ok = low < fvalue < high
+        bounds = f"({low}, {high})"
+    if not ok:
+        raise ValidationError(f"{name} must lie in {bounds}, got {fvalue}")
+    return fvalue
+
+
+def check_probability(value, *, name: str = "p") -> float:
+    """Validate a scalar probability in ``[0, 1]``."""
+    return check_in_range(value, name=name, low=0.0, high=1.0)
+
+
+def as_rng(seed) -> np.random.Generator:
+    """Normalise ``seed`` into a :class:`numpy.random.Generator`.
+
+    Accepts ``None`` (fresh entropy), an integer seed, or an existing
+    generator (returned unchanged so callers can share RNG state).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)

@@ -1,0 +1,6 @@
+"""Classifier substrate for before/after-repair fairness evaluation."""
+
+from .logistic import LogisticRegression
+from .naive_bayes import GaussianNaiveBayes
+
+__all__ = ["GaussianNaiveBayes", "LogisticRegression"]

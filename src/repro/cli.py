@@ -1,0 +1,226 @@
+"""Command-line interface.
+
+``python -m repro <command>`` drives the library without writing code:
+
+* ``experiment {table1,table2,fig3,fig4}`` — regenerate a paper artefact;
+* ``design`` — fit repair plans on a labelled CSV and save them;
+* ``repair`` — apply saved plans to an archival CSV;
+* ``evaluate`` — measure the conditional-dependence metric of a CSV.
+
+CSV layout for the data commands: a header row, one column per feature,
+plus integer columns named ``s`` and ``u`` (configurable).
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from .core.repair import DistributionalRepairer, repair_dataset
+from .core.serialize import load_plan, save_plan
+from .data.dataset import FairnessDataset
+from .data.schema import TableSchema
+from .exceptions import DataError, ReproError
+from .metrics.fairness import conditional_dependence_energy
+
+__all__ = ["main", "build_parser", "read_csv_dataset",
+           "write_csv_dataset"]
+
+
+def read_csv_dataset(path, *, s_column: str = "s",
+                     u_column: str = "u") -> FairnessDataset:
+    """Load a labelled data set from a headered CSV file."""
+    file_path = Path(path)
+    if not file_path.exists():
+        raise DataError(f"data file not found: {file_path}")
+    with open(file_path, newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise DataError(f"{file_path}: empty file") from None
+        header = [name.strip() for name in header]
+        for required in (s_column, u_column):
+            if required not in header:
+                raise DataError(
+                    f"{file_path}: missing required column "
+                    f"{required!r} (have {header})")
+        s_index = header.index(s_column)
+        u_index = header.index(u_column)
+        feature_indices = [i for i in range(len(header))
+                           if i not in (s_index, u_index)]
+        if not feature_indices:
+            raise DataError(f"{file_path}: no feature columns")
+        rows = []
+        for line_no, row in enumerate(reader, start=2):
+            if not row or (len(row) == 1 and not row[0].strip()):
+                continue
+            if len(row) != len(header):
+                raise DataError(
+                    f"{file_path}:{line_no}: expected {len(header)} "
+                    f"fields, got {len(row)}")
+            try:
+                rows.append([float(value) for value in row])
+            except ValueError as exc:
+                raise DataError(
+                    f"{file_path}:{line_no}: non-numeric field "
+                    f"({exc})") from exc
+    if not rows:
+        raise DataError(f"{file_path}: no data rows")
+    matrix = np.asarray(rows)
+    schema = TableSchema.from_names(
+        [header[i] for i in feature_indices],
+        protected=s_column, unprotected=u_column)
+    return FairnessDataset(matrix[:, feature_indices],
+                           matrix[:, s_index], matrix[:, u_index],
+                           schema=schema)
+
+
+def write_csv_dataset(dataset: FairnessDataset, path) -> None:
+    """Write a data set back out with the same column convention."""
+    file_path = Path(path)
+    with open(file_path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(list(dataset.feature_names)
+                        + [dataset.schema.protected,
+                           dataset.schema.unprotected])
+        for i in range(len(dataset)):
+            writer.writerow([f"{v:.10g}" for v in dataset.features[i]]
+                            + [int(dataset.s[i]), int(dataset.u[i])])
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="OT-based fairness repair of archival data "
+                    "(ICDE 2024 reproduction)")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    experiment = commands.add_parser(
+        "experiment", help="regenerate a paper table or figure")
+    experiment.add_argument("artefact",
+                            choices=("table1", "table2", "fig3", "fig4",
+                                     "tradeoff", "correlation", "monge"))
+    experiment.add_argument("--repeats", type=int, default=None,
+                            help="Monte-Carlo repetitions (simulated "
+                                 "experiments)")
+    experiment.add_argument("--seed", type=int, default=2024)
+    experiment.add_argument("--adult-path", default=None,
+                            help="real adult.data file for table2")
+
+    design = commands.add_parser(
+        "design", help="fit repair plans on a labelled research CSV")
+    design.add_argument("research_csv")
+    design.add_argument("plan_file", help="output .npz plan archive")
+    design.add_argument("--n-states", type=int, default=50)
+    design.add_argument("--t", type=float, default=0.5)
+    design.add_argument("--solver", default="exact",
+                        choices=("exact", "simplex", "sinkhorn"))
+    design.add_argument("--marginal-estimator", default="kde",
+                        choices=("kde", "linear"))
+
+    repair = commands.add_parser(
+        "repair", help="repair an archival CSV with saved plans")
+    repair.add_argument("plan_file")
+    repair.add_argument("archive_csv")
+    repair.add_argument("output_csv")
+    repair.add_argument("--seed", type=int, default=None)
+
+    evaluate = commands.add_parser(
+        "evaluate", help="measure conditional dependence (E) of a CSV")
+    evaluate.add_argument("data_csv")
+    evaluate.add_argument("--n-grid", type=int, default=100)
+
+    return parser
+
+
+def _run_experiment(args) -> int:
+    if args.artefact == "table1":
+        from .experiments.table1 import Table1Config, run_table1
+        config = Table1Config(seed=args.seed,
+                              n_repeats=args.repeats or 25)
+        print(run_table1(config).render())
+    elif args.artefact == "table2":
+        from .experiments.table2 import Table2Config, run_table2
+        config = Table2Config(seed=args.seed, adult_path=args.adult_path)
+        print(run_table2(config).render())
+    elif args.artefact == "fig3":
+        from .experiments.fig3 import Fig3Config, run_fig3
+        config = Fig3Config(seed=args.seed, n_repeats=args.repeats or 10)
+        result = run_fig3(config)
+        print(result.render())
+        print(f"converged by nR = {result.converged_by()}")
+    elif args.artefact == "fig4":
+        from .experiments.fig4 import Fig4Config, run_fig4
+        config = Fig4Config(seed=args.seed, n_repeats=args.repeats or 10)
+        result = run_fig4(config)
+        print(result.render())
+        print(f"converged by nQ = {result.convergence_threshold()}")
+    elif args.artefact == "tradeoff":
+        from .experiments.extensions import run_tradeoff
+        print(run_tradeoff(seed=args.seed).render())
+    elif args.artefact == "correlation":
+        from .experiments.extensions import run_correlation_study
+        print(run_correlation_study(seed=args.seed).render())
+    else:
+        from .experiments.extensions import run_monge_study
+        print(run_monge_study(seed=args.seed).render())
+    return 0
+
+
+def _run_design(args) -> int:
+    research = read_csv_dataset(args.research_csv)
+    repairer = DistributionalRepairer(
+        n_states=args.n_states, t=args.t, solver=args.solver,
+        marginal_estimator=args.marginal_estimator)
+    repairer.fit(research)
+    written = save_plan(repairer.plan, args.plan_file)
+    print(f"designed {len(repairer.plan.feature_plans)} feature plans on "
+          f"{len(research)} research rows -> {written}")
+    return 0
+
+
+def _run_repair(args) -> int:
+    plan = load_plan(args.plan_file)
+    archive = read_csv_dataset(args.archive_csv)
+    rng = np.random.default_rng(args.seed)
+    repaired = repair_dataset(archive, plan, rng=rng)
+    write_csv_dataset(repaired, args.output_csv)
+    print(f"repaired {len(repaired)} rows -> {args.output_csv}")
+    return 0
+
+
+def _run_evaluate(args) -> int:
+    data = read_csv_dataset(args.data_csv)
+    report = conditional_dependence_energy(data.features, data.s, data.u,
+                                           n_grid=args.n_grid)
+    for k, name in enumerate(data.feature_names):
+        print(f"E[{name}] = {report.per_feature[k]:.6g}")
+    print(f"E total = {report.total:.6g}")
+    return 0
+
+
+def main(argv=None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "experiment": _run_experiment,
+        "design": _run_design,
+        "repair": _run_repair,
+        "evaluate": _run_evaluate,
+    }
+    try:
+        return handlers[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,50 @@
+"""Core contribution: distributional OT repair (Algorithms 1 & 2) and
+baselines."""
+
+from .design import SOLVERS, design_feature_plan, design_repair
+from .diagnostics import CellDiagnostic, DriftMonitor, DriftReport
+from .geometric import (GeometricRepairer, geometric_repair_1d,
+                        geometric_repair_multivariate)
+from .joint import (JointDistributionalRepairer, JointFeaturePlan,
+                    JointRepairPlan, design_joint_repair)
+from .serialize import load_plan, save_plan
+from .labels import GaussianClassConditional, SubgroupLabelModel, em_refine
+from .monge import MongeFeatureMap, MongeRepairer
+from .partial import PartialRepairer, dampen_repair, repair_damage
+from .pipeline import RepairPipeline, RepairReport
+from .plan import FeaturePlan, RepairPlan
+from .repair import (DistributionalRepairer, repair_dataset,
+                     repair_feature_values)
+
+__all__ = [
+    "SOLVERS",
+    "CellDiagnostic",
+    "DistributionalRepairer",
+    "DriftMonitor",
+    "DriftReport",
+    "FeaturePlan",
+    "GaussianClassConditional",
+    "GeometricRepairer",
+    "JointDistributionalRepairer",
+    "JointFeaturePlan",
+    "JointRepairPlan",
+    "MongeFeatureMap",
+    "MongeRepairer",
+    "PartialRepairer",
+    "RepairPipeline",
+    "RepairPlan",
+    "RepairReport",
+    "SubgroupLabelModel",
+    "dampen_repair",
+    "design_feature_plan",
+    "design_joint_repair",
+    "design_repair",
+    "em_refine",
+    "geometric_repair_1d",
+    "geometric_repair_multivariate",
+    "load_plan",
+    "repair_damage",
+    "save_plan",
+    "repair_dataset",
+    "repair_feature_values",
+]

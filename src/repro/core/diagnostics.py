@@ -1,0 +1,162 @@
+"""Stationarity diagnostics for deployed repair plans.
+
+The method's "main active assumption" (Section IV-A1) is that the
+research data are a representative sample of the stationary composite
+population.  When archives drift — new cohorts, seasonality, upstream
+schema changes — two symptoms appear:
+
+* archival values fall outside the interpolated supports ``Q`` (they get
+  clipped to the boundary cells), and
+* the archival marginal on ``Q`` diverges from the research-designed
+  marginal ``µ_{u,s,k}``.
+
+:class:`DriftMonitor` watches both, per ``(u, s, k)`` cell, so an operator
+can tell *when the plans need re-designing* — exactly the question the
+paper defers to deployment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .._validation import check_in_range
+from ..data.dataset import FairnessDataset
+from ..exceptions import ValidationError
+from ..ot.barycenter import project_onto_grid
+from ..ot.onedim import wasserstein_1d
+from ..metrics.divergence import total_variation
+from .plan import RepairPlan
+
+__all__ = ["CellDiagnostic", "DriftReport", "DriftMonitor"]
+
+
+@dataclass(frozen=True)
+class CellDiagnostic:
+    """Drift evidence for one ``(u, s, k)`` cell.
+
+    Attributes
+    ----------
+    coverage:
+        Fraction of archival values inside the cell's grid range; low
+        coverage means boundary clipping is distorting repairs.
+    w1_shift:
+        ``W1`` distance between the designed marginal and the archival
+        marginal, normalised by the grid span (0 = identical, 1 = moved
+        across the whole support).
+    tv_shift:
+        Total-variation distance between the two marginals on ``Q``.
+    n_points:
+        Archival points that contributed.
+    """
+
+    u: int
+    s: int
+    k: int
+    coverage: float
+    w1_shift: float
+    tv_shift: float
+    n_points: int
+
+    def is_drifted(self, *, min_coverage: float = 0.98,
+                   max_w1_shift: float = 0.1) -> bool:
+        """Conservative per-cell drift verdict."""
+        return (self.coverage < min_coverage
+                or self.w1_shift > max_w1_shift)
+
+
+@dataclass(frozen=True)
+class DriftReport:
+    """All cell diagnostics for one archival batch."""
+
+    cells: tuple
+    min_coverage: float = 0.98
+    max_w1_shift: float = 0.1
+
+    @property
+    def drifted_cells(self) -> tuple:
+        return tuple(c for c in self.cells
+                     if c.is_drifted(min_coverage=self.min_coverage,
+                                     max_w1_shift=self.max_w1_shift))
+
+    @property
+    def any_drift(self) -> bool:
+        return bool(self.drifted_cells)
+
+    @property
+    def worst_coverage(self) -> float:
+        return min((c.coverage for c in self.cells), default=1.0)
+
+    @property
+    def worst_w1_shift(self) -> float:
+        return max((c.w1_shift for c in self.cells), default=0.0)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        flagged = len(self.drifted_cells)
+        return (f"DriftReport({len(self.cells)} cells, {flagged} drifted, "
+                f"worst coverage {self.worst_coverage:.3f}, worst W1 "
+                f"shift {self.worst_w1_shift:.3f})")
+
+
+class DriftMonitor:
+    """Checks archival batches against a fitted repair plan.
+
+    Parameters
+    ----------
+    plan:
+        The deployed :class:`~repro.core.plan.RepairPlan`.
+    min_coverage, max_w1_shift:
+        Thresholds used for the per-cell drift verdicts.
+    """
+
+    def __init__(self, plan: RepairPlan, *, min_coverage: float = 0.98,
+                 max_w1_shift: float = 0.1) -> None:
+        if not isinstance(plan, RepairPlan):
+            raise ValidationError(
+                f"DriftMonitor expects a RepairPlan, got "
+                f"{type(plan).__name__}")
+        self._plan = plan
+        self.min_coverage = check_in_range(
+            min_coverage, name="min_coverage", low=0.0, high=1.0)
+        self.max_w1_shift = float(max_w1_shift)
+        if self.max_w1_shift < 0.0:
+            raise ValidationError("max_w1_shift must be >= 0")
+
+    def check(self, batch: FairnessDataset) -> DriftReport:
+        """Diagnose one labelled archival batch against the plan."""
+        if batch.n_features != self._plan.n_features:
+            raise ValidationError(
+                f"batch has {batch.n_features} features, plan expects "
+                f"{self._plan.n_features}")
+        cells = []
+        for u in batch.u_values:
+            if not self._plan.covers(int(u)):
+                raise ValidationError(
+                    f"plan has no design for group u={int(u)}")
+            for s in (0, 1):
+                mask = batch.group_mask(int(u), s)
+                if not mask.any():
+                    continue
+                for k in range(batch.n_features):
+                    cells.append(self._diagnose_cell(
+                        batch.features[mask, k], int(u), s, k))
+        return DriftReport(cells=tuple(cells),
+                           min_coverage=self.min_coverage,
+                           max_w1_shift=self.max_w1_shift)
+
+    def _diagnose_cell(self, values: np.ndarray, u: int, s: int,
+                       k: int) -> CellDiagnostic:
+        feature_plan = self._plan.feature_plan(u, k)
+        grid = feature_plan.grid
+        coverage = grid.coverage(values)
+        uniform = np.full(values.size, 1.0 / values.size)
+        archival_pmf = project_onto_grid(values, uniform, grid.nodes)
+        designed_pmf = feature_plan.marginals[s]
+        span = max(grid.high - grid.low, 1e-300)
+        w1 = wasserstein_1d(grid.nodes, designed_pmf, grid.nodes,
+                            archival_pmf, p=1) / span
+        tv = total_variation(designed_pmf, archival_pmf)
+        return CellDiagnostic(u=u, s=s, k=k, coverage=coverage,
+                              w1_shift=float(w1), tv_shift=float(tv),
+                              n_points=int(values.size))

@@ -1,0 +1,262 @@
+"""Joint (multivariate) distributional repair — beyond the paper.
+
+The paper repairs each feature independently (Algorithm 1 is
+``(u, s, k)``-stratified) to escape the curse of dimensionality, and
+Section VI concedes the cost: intra-feature correlation structure is
+neglected, so dependence living in the *joint* distribution survives the
+repair.  This module implements the natural extension for small feature
+counts: the same design — interpolate, barycentre, transport — executed
+on a **product grid** over all features at once.
+
+* Supports are product grids ``Q_1 × ... × Q_d`` (``n_Q^d`` states, so
+  intended for ``d ≤ 3``).
+* Marginals are multivariate product-kernel KDE interpolations.
+* The barycentre and the plans are entropic (Sinkhorn / iterative
+  Bregman): the product-grid problems are no longer 1-D, so the monotone
+  shortcut is unavailable.
+* Repair generalises Algorithm 2: per-dimension Bernoulli rounding picks
+  a product cell, then a multinomial draw over the plan row returns a
+  full repaired feature *vector*.
+
+The correlation ablation bench contrasts this with the per-feature repair
+on data whose unfairness hides in the correlation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._validation import as_rng, check_positive_int, check_probability
+from ..data.dataset import FairnessDataset
+from ..density.bandwidth import select_bandwidth
+from ..density.grid import InterpolationGrid
+from ..density.kde import gaussian_kernel
+from ..exceptions import NotFittedError, ValidationError
+from ..ot.barycenter import sinkhorn_barycenter
+from ..ot.cost import squared_euclidean_cost
+from ..ot.sinkhorn import sinkhorn
+
+__all__ = ["JointFeaturePlan", "JointRepairPlan", "design_joint_repair",
+           "JointDistributionalRepairer"]
+
+#: Hard cap on product-grid states; beyond this the entropic solves stop
+#: being interactive and the per-feature method is the right tool anyway.
+_MAX_STATES = 20_000
+
+
+@dataclass(frozen=True)
+class JointFeaturePlan:
+    """Joint-repair machinery for one ``u`` group.
+
+    Attributes
+    ----------
+    grids:
+        One :class:`InterpolationGrid` per feature dimension.
+    nodes:
+        ``(N, d)`` product-grid points, ``N = Π n_Q``.
+    marginals:
+        ``s -> flat pmf`` over the product grid.
+    barycenter:
+        Repair-target pmf over the product grid.
+    conditionals:
+        ``s -> (N, N) row-normalised conditional matrix`` of the plan.
+    """
+
+    grids: tuple
+    nodes: np.ndarray
+    marginals: dict
+    barycenter: np.ndarray
+    conditionals: dict
+
+    @property
+    def shape(self) -> tuple:
+        return tuple(grid.n_states for grid in self.grids)
+
+    @property
+    def n_states(self) -> int:
+        return int(np.prod(self.shape))
+
+
+@dataclass(frozen=True)
+class JointRepairPlan:
+    """Mapping ``u -> JointFeaturePlan`` plus design metadata."""
+
+    group_plans: dict
+    n_features: int
+    t: float
+    metadata: dict
+
+    def group_plan(self, u: int) -> JointFeaturePlan:
+        try:
+            return self.group_plans[u]
+        except KeyError:
+            raise ValidationError(
+                f"no joint plan designed for group u={u}") from None
+
+
+def _product_nodes(grids) -> np.ndarray:
+    axes = [grid.nodes for grid in grids]
+    mesh = np.meshgrid(*axes, indexing="ij")
+    return np.column_stack([m.ravel() for m in mesh])
+
+
+def _joint_kde_pmf(samples: np.ndarray, grids,
+                   bandwidth_method: str) -> np.ndarray:
+    """Product-Gaussian-kernel pmf of ``samples`` on the product grid."""
+    per_dim = []
+    for k, grid in enumerate(grids):
+        h = select_bandwidth(samples[:, k], bandwidth_method)
+        # (n_states_k, n_samples) kernel evaluations for dimension k.
+        per_dim.append(gaussian_kernel(
+            grid.nodes[:, None] - samples[None, :, k], h))
+    # pmf[q1,...,qd] = sum_i prod_k per_dim[k][q_k, i]
+    acc = per_dim[0]
+    for block in per_dim[1:]:
+        acc = np.einsum("...i,qi->...qi", acc, block)
+    pmf = acc.sum(axis=-1).ravel()
+    total = pmf.sum()
+    if total <= 0.0 or not np.isfinite(total):
+        raise ValidationError(
+            "joint KDE interpolation produced a degenerate pmf")
+    return pmf / total
+
+
+def design_joint_repair(research: FairnessDataset, n_states: int = 15, *,
+                        t: float = 0.5, epsilon: float = 5e-3,
+                        bandwidth_method: str = "silverman",
+                        padding: float = 0.0,
+                        max_iter: int = 20_000) -> JointRepairPlan:
+    """Design the joint repair on a product grid, per ``u`` group."""
+    n_states = check_positive_int(n_states, name="n_states", minimum=2)
+    t = check_probability(t, name="t")
+    d = research.n_features
+    if n_states ** d > _MAX_STATES:
+        raise ValidationError(
+            f"product grid would have {n_states ** d} states "
+            f"(> {_MAX_STATES}); reduce n_states or the feature count, "
+            "or use the per-feature DistributionalRepairer")
+
+    group_plans = {}
+    for u in research.u_values:
+        group = research.group(int(u))
+        if not ((group.s == 0).any() and (group.s == 1).any()):
+            raise ValidationError(
+                f"group u={int(u)} lacks research data for both "
+                "protected classes")
+        grids = tuple(
+            InterpolationGrid.from_samples(group.features[:, k], n_states,
+                                           padding=padding)
+            for k in range(d))
+        nodes = _product_nodes(grids)
+        marginals = {
+            s: _joint_kde_pmf(group.features[group.s == s], grids,
+                              bandwidth_method)
+            for s in (0, 1)
+        }
+        cost = squared_euclidean_cost(nodes, nodes)
+        target = sinkhorn_barycenter(cost, [marginals[0], marginals[1]],
+                                     weights=[1.0 - t, t],
+                                     epsilon=epsilon, max_iter=max_iter,
+                                     tol=1e-9)
+        conditionals = {}
+        for s in (0, 1):
+            plan = sinkhorn(cost, marginals[s], target, epsilon=epsilon,
+                            max_iter=max_iter, tol=1e-9,
+                            raise_on_failure=False).plan
+            rows = plan.sum(axis=1, keepdims=True)
+            rows[rows <= 1e-300] = 1.0
+            conditionals[s] = plan / rows
+        group_plans[int(u)] = JointFeaturePlan(
+            grids=grids, nodes=nodes, marginals=marginals,
+            barycenter=target, conditionals=conditionals)
+
+    metadata = {"epsilon": epsilon, "n_states": n_states,
+                "bandwidth_method": bandwidth_method,
+                "n_research": len(research)}
+    return JointRepairPlan(group_plans=group_plans, n_features=d, t=t,
+                           metadata=metadata)
+
+
+class JointDistributionalRepairer:
+    """fit/transform wrapper around the joint product-grid repair.
+
+    Parameters mirror :class:`~repro.core.repair.DistributionalRepairer`
+    where applicable; the solver is always entropic.
+    """
+
+    def __init__(self, n_states: int = 15, *, t: float = 0.5,
+                 epsilon: float = 5e-3,
+                 bandwidth_method: str = "silverman",
+                 padding: float = 0.0, rng=None) -> None:
+        self.n_states = n_states
+        self.t = t
+        self.epsilon = epsilon
+        self.bandwidth_method = bandwidth_method
+        self.padding = padding
+        self._rng = as_rng(rng)
+        self._plan: JointRepairPlan | None = None
+
+    @property
+    def plan(self) -> JointRepairPlan:
+        if self._plan is None:
+            raise NotFittedError(
+                "JointDistributionalRepairer.fit must run first")
+        return self._plan
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._plan is not None
+
+    def fit(self, research: FairnessDataset) -> "JointDistributionalRepairer":
+        self._plan = design_joint_repair(
+            research, self.n_states, t=self.t, epsilon=self.epsilon,
+            bandwidth_method=self.bandwidth_method, padding=self.padding)
+        return self
+
+    def transform(self, dataset: FairnessDataset, *,
+                  rng=None) -> FairnessDataset:
+        """Repair full feature vectors via the joint plans."""
+        plan = self.plan
+        if dataset.n_features != plan.n_features:
+            raise ValidationError(
+                f"dataset has {dataset.n_features} features, joint plan "
+                f"expects {plan.n_features}")
+        generator = self._rng if rng is None else as_rng(rng)
+        repaired = dataset.features.copy()
+        for u in dataset.u_values:
+            group_plan = plan.group_plan(int(u))
+            for s in (0, 1):
+                mask = dataset.group_mask(int(u), s)
+                if not mask.any():
+                    continue
+                repaired[mask] = self._repair_block(
+                    dataset.features[mask], group_plan, s, generator)
+        return dataset.with_features(repaired)
+
+    def fit_transform(self, research: FairnessDataset, *,
+                      rng=None) -> FairnessDataset:
+        return self.fit(research).transform(research, rng=rng)
+
+    @staticmethod
+    def _repair_block(values: np.ndarray, group_plan: JointFeaturePlan,
+                      s: int, generator: np.random.Generator) -> np.ndarray:
+        shape = group_plan.shape
+        # Per-dimension Bernoulli rounding (Algorithm 2 lines 5-8, once
+        # per coordinate) selects the product cell.
+        per_dim_rows = []
+        for k, grid in enumerate(group_plan.grids):
+            idx, tau = grid.locate(values[:, k])
+            advance = (generator.random(values.shape[0]) < tau).astype(int)
+            per_dim_rows.append(np.minimum(idx + advance,
+                                           grid.n_states - 1))
+        flat_rows = np.ravel_multi_index(tuple(per_dim_rows), shape)
+
+        conditionals = group_plan.conditionals[s]
+        cdfs = np.cumsum(conditionals[flat_rows], axis=1)
+        cdfs[:, -1] = 1.0
+        draws = generator.random(values.shape[0])
+        states = (cdfs < draws[:, None]).sum(axis=1)
+        states = np.minimum(states, group_plan.n_states - 1)
+        return group_plan.nodes[states]

@@ -1,0 +1,202 @@
+"""Estimation of missing protected labels ``ŝ|u`` (paper Section IV/VI).
+
+Archival data typically lack the protected attribute.  The paper assumes
+``s|u`` labels "are known or can be estimated with low error" via standard
+mixture identification (its reference [27]) and defers the mechanics.  We
+implement the standard machinery so the library is usable end-to-end on
+unlabelled archives:
+
+* :class:`SubgroupLabelModel` — a supervised Bayes classifier: fit Gaussian
+  class-conditionals ``f(x | s, u)`` and priors ``Pr[s | u]`` on the
+  labelled research data, then assign archival labels by posterior.
+* :func:`em_refine` — an optional unsupervised EM pass that refines the
+  per-``u`` two-component Gaussian mixture on the (unlabelled) archive
+  itself, initialised from the research fit — useful under mild drift.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._validation import as_2d_array, check_positive_int
+from ..data.dataset import FairnessDataset
+from ..exceptions import NotFittedError, ValidationError
+
+__all__ = ["GaussianClassConditional", "SubgroupLabelModel", "em_refine"]
+
+_COV_RIDGE = 1e-6
+
+
+@dataclass
+class GaussianClassConditional:
+    """A fitted multivariate Gaussian ``N(mean, cov)`` with log-density."""
+
+    mean: np.ndarray
+    cov: np.ndarray
+
+    def __post_init__(self) -> None:
+        mean = np.atleast_1d(np.asarray(self.mean, dtype=float))
+        cov = np.atleast_2d(np.asarray(self.cov, dtype=float))
+        d = mean.size
+        if cov.shape != (d, d):
+            raise ValidationError(
+                f"covariance shape {cov.shape} incompatible with mean "
+                f"dimension {d}")
+        # Ridge for numerical stability of the Cholesky factorisation.
+        cov = cov + _COV_RIDGE * np.eye(d)
+        self.mean = mean
+        self.cov = cov
+        self._chol = np.linalg.cholesky(cov)
+        self._log_det = 2.0 * np.sum(np.log(np.diag(self._chol)))
+
+    @classmethod
+    def fit(cls, samples) -> "GaussianClassConditional":
+        xs = as_2d_array(samples, name="samples")
+        mean = xs.mean(axis=0)
+        if xs.shape[0] > 1:
+            cov = np.cov(xs, rowvar=False, ddof=1)
+            cov = np.atleast_2d(cov)
+        else:
+            cov = np.eye(xs.shape[1])
+        return cls(mean, cov)
+
+    def log_pdf(self, x) -> np.ndarray:
+        xs = as_2d_array(x, name="x")
+        d = self.mean.size
+        centered = xs - self.mean
+        solved = np.linalg.solve(self._chol, centered.T)
+        quad = np.sum(solved ** 2, axis=0)
+        return -0.5 * (quad + self._log_det + d * np.log(2.0 * np.pi))
+
+
+class SubgroupLabelModel:
+    """Bayes-rule estimator of ``ŝ | u`` from labelled research data.
+
+    For each ``u`` group, fits ``f(x | s, u)`` as Gaussians and the prior
+    ``Pr[s | u]`` from research frequencies; ``predict`` assigns the MAP
+    label, ``predict_proba`` returns ``Pr[s = 1 | x, u]``.
+    """
+
+    def __init__(self) -> None:
+        self._conditionals: dict = {}
+        self._priors: dict = {}
+
+    @property
+    def is_fitted(self) -> bool:
+        return bool(self._conditionals)
+
+    def fit(self, research: FairnessDataset) -> "SubgroupLabelModel":
+        """Estimate the per-``(u, s)`` mixture components."""
+        self._conditionals.clear()
+        self._priors.clear()
+        for u in research.u_values:
+            group = research.group(int(u))
+            sizes = {s: int(np.sum(group.s == s)) for s in (0, 1)}
+            if min(sizes.values()) < 2:
+                raise ValidationError(
+                    f"group u={int(u)} needs >= 2 research rows per "
+                    f"protected class to fit the mixture (sizes {sizes})")
+            for s in (0, 1):
+                self._conditionals[(int(u), s)] = GaussianClassConditional.fit(
+                    group.features[group.s == s])
+            self._priors[int(u)] = float(np.mean(group.s == 1))
+        return self
+
+    def predict_proba(self, features, u_labels) -> np.ndarray:
+        """``Pr[s = 1 | x, u]`` for each row."""
+        if not self.is_fitted:
+            raise NotFittedError("SubgroupLabelModel.fit must be called "
+                                 "before predict_proba")
+        x = as_2d_array(features, name="features")
+        u = np.asarray(u_labels).astype(int).ravel()
+        if u.size != x.shape[0]:
+            raise ValidationError("features/u_labels length mismatch")
+        posterior = np.zeros(x.shape[0])
+        for group in np.unique(u):
+            if (int(group), 0) not in self._conditionals:
+                raise ValidationError(
+                    f"model was not fitted for group u={int(group)}")
+            mask = u == group
+            prior1 = self._priors[int(group)]
+            log0 = (self._conditionals[(int(group), 0)].log_pdf(x[mask])
+                    + np.log(max(1.0 - prior1, 1e-12)))
+            log1 = (self._conditionals[(int(group), 1)].log_pdf(x[mask])
+                    + np.log(max(prior1, 1e-12)))
+            top = np.maximum(log0, log1)
+            posterior[mask] = (np.exp(log1 - top)
+                               / (np.exp(log0 - top) + np.exp(log1 - top)))
+        return posterior
+
+    def predict(self, features, u_labels) -> np.ndarray:
+        """MAP estimate ``ŝ`` for each row."""
+        return (self.predict_proba(features, u_labels) >= 0.5).astype(int)
+
+    def label_archive(self, archive: FairnessDataset) -> FairnessDataset:
+        """Return the archive with ``s`` replaced by the MAP estimates.
+
+        This is the plug that makes the end-to-end pipeline work when the
+        archive's protected attribute was never recorded.
+        """
+        estimated = self.predict(archive.features, archive.u)
+        return FairnessDataset(archive.features, estimated, archive.u,
+                               archive.y, archive.schema)
+
+    def accuracy(self, dataset: FairnessDataset) -> float:
+        """Label accuracy against a data set whose true ``s`` is known."""
+        predicted = self.predict(dataset.features, dataset.u)
+        return float(np.mean(predicted == dataset.s))
+
+
+def em_refine(model: SubgroupLabelModel, archive: FairnessDataset, *,
+              n_iter: int = 20, tol: float = 1e-6) -> SubgroupLabelModel:
+    """Refine the mixture on unlabelled archive data by per-``u`` EM.
+
+    Starts from the research-fitted components (good initialisation
+    matters: the mixture is identifiable only up to label swap, and the
+    warm start pins the labelling).  Returns a *new* fitted model.
+    """
+    if not model.is_fitted:
+        raise NotFittedError("refine requires a fitted SubgroupLabelModel")
+    n_iter = check_positive_int(n_iter, name="n_iter")
+    refined = SubgroupLabelModel()
+    refined._conditionals = dict(model._conditionals)
+    refined._priors = dict(model._priors)
+
+    for u in archive.u_values:
+        mask = archive.u == int(u)
+        xs = archive.features[mask]
+        if xs.shape[0] < 4 or (int(u), 0) not in refined._conditionals:
+            continue
+        prior1 = refined._priors[int(u)]
+        comp0 = refined._conditionals[(int(u), 0)]
+        comp1 = refined._conditionals[(int(u), 1)]
+        previous = -np.inf
+        for _ in range(n_iter):
+            log0 = comp0.log_pdf(xs) + np.log(max(1.0 - prior1, 1e-12))
+            log1 = comp1.log_pdf(xs) + np.log(max(prior1, 1e-12))
+            top = np.maximum(log0, log1)
+            log_norm = top + np.log(np.exp(log0 - top) + np.exp(log1 - top))
+            resp1 = np.exp(log1 - log_norm)
+            likelihood = float(np.sum(log_norm))
+            if abs(likelihood - previous) < tol * max(1.0, abs(previous)):
+                break
+            previous = likelihood
+            weight1 = float(np.sum(resp1))
+            weight0 = xs.shape[0] - weight1
+            if weight1 < 1e-6 or weight0 < 1e-6:
+                break  # a component collapsed; keep the previous fit
+            prior1 = weight1 / xs.shape[0]
+            mean1 = (resp1[:, None] * xs).sum(axis=0) / weight1
+            mean0 = ((1.0 - resp1)[:, None] * xs).sum(axis=0) / weight0
+            centred1 = xs - mean1
+            centred0 = xs - mean0
+            cov1 = (resp1[:, None] * centred1).T @ centred1 / weight1
+            cov0 = ((1.0 - resp1)[:, None] * centred0).T @ centred0 / weight0
+            comp1 = GaussianClassConditional(mean1, cov1)
+            comp0 = GaussianClassConditional(mean0, cov0)
+        refined._conditionals[(int(u), 0)] = comp0
+        refined._conditionals[(int(u), 1)] = comp1
+        refined._priors[int(u)] = prior1
+    return refined

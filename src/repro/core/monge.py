@@ -1,0 +1,207 @@
+"""Monge-map repair — the deterministic limit the paper anticipates.
+
+Section VI (final paragraph): as ``n_Q → ∞`` the Kantorovich plans of
+Algorithm 1 converge, by Brenier's theorem, to *Monge maps* — functions
+rather than stochastic kernels — and the authors suggest this "could
+improve the individual fairness of the approach", because feature-similar
+points are repaired similarly (no mass splitting, no sampling noise).
+
+In one dimension that limit is available in closed form and needs no grid
+at all: the optimal Monge map from a continuous source ``µ_s`` to the
+target ``ν`` under convex cost is the increasing rearrangement
+
+    T_s(x) = F_ν⁻¹( F_{µ_s}(x) ),
+
+with ``F`` the CDFs.  This module implements exactly that, per
+``(u, s, k)``:
+
+* ``F_{µ_s}`` is the Gaussian-KDE CDF of the research subgroup (smooth,
+  strictly increasing — Brenier's hypotheses hold);
+* ``ν`` is the ``t``-barycentre, whose quantile function is the convex
+  combination ``F_ν⁻¹ = (1 - t') F_{µ_0}⁻¹ + t' F_{µ_1}⁻¹`` with
+  ``t' = t`` for the ``s = 0`` map and the complementary convention kept
+  consistent for both groups;
+* the composition is tabulated on a fine lattice once at fit time, and
+  applied to archival points by monotone interpolation — ``O(log m)`` per
+  point, fully deterministic, off-sample by construction.
+
+Properties (tested): the map is monotone (individual fairness: order is
+preserved within a subgroup), both repaired subgroups converge to the same
+distribution, and repairs are deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._validation import check_positive_int, check_probability
+from ..data.dataset import FairnessDataset
+from ..density.kde import GaussianKDE
+from ..exceptions import NotFittedError, ValidationError
+
+__all__ = ["MongeFeatureMap", "MongeRepairer"]
+
+
+@dataclass(frozen=True)
+class MongeFeatureMap:
+    """Tabulated monotone map ``T_s`` for one ``(u, s, k)`` cell.
+
+    Attributes
+    ----------
+    knots:
+        Source-value lattice where the map was evaluated.
+    images:
+        ``T(knots)`` — non-decreasing by construction.
+    """
+
+    knots: np.ndarray
+    images: np.ndarray
+
+    def __post_init__(self) -> None:
+        knots = np.asarray(self.knots, dtype=float)
+        images = np.asarray(self.images, dtype=float)
+        if knots.ndim != 1 or knots.shape != images.shape:
+            raise ValidationError("knots/images must be matching 1-D "
+                                  "arrays")
+        if np.any(np.diff(knots) <= 0):
+            raise ValidationError("knots must be strictly increasing")
+        # Monotone non-decreasing images (round-off tolerant).
+        fixed = np.maximum.accumulate(images)
+        object.__setattr__(self, "knots", knots)
+        object.__setattr__(self, "images", fixed)
+
+    def __call__(self, values) -> np.ndarray:
+        """Apply the map by monotone linear interpolation.
+
+        Values outside the tabulated range are mapped by the boundary
+        images (the same saturation behaviour as Algorithm 2's grids).
+        """
+        xs = np.atleast_1d(np.asarray(values, dtype=float))
+        return np.interp(xs, self.knots, self.images)
+
+
+class MongeRepairer:
+    """Deterministic 1-D Monge-map repair, stratified per ``(u, s, k)``.
+
+    Parameters
+    ----------
+    t:
+        Barycentre position on the W2 geodesic (``0.5`` = fair midpoint).
+    n_knots:
+        Lattice resolution for tabulating the maps; the analogue of
+        ``n_Q`` but purely an interpolation accuracy knob (the maps are
+        grid-free in principle).
+    n_levels:
+        Quantile resolution used to invert ``F_ν``.
+    bandwidth_method:
+        KDE bandwidth rule for the source CDFs.
+    """
+
+    def __init__(self, *, t: float = 0.5, n_knots: int = 512,
+                 n_levels: int = 2048,
+                 bandwidth_method: str = "silverman") -> None:
+        self.t = check_probability(t, name="t")
+        self.n_knots = check_positive_int(n_knots, name="n_knots",
+                                          minimum=8)
+        self.n_levels = check_positive_int(n_levels, name="n_levels",
+                                           minimum=16)
+        self.bandwidth_method = bandwidth_method
+        self._maps: dict | None = None
+        self._n_features: int | None = None
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._maps is not None
+
+    def feature_map(self, u: int, s: int, k: int) -> MongeFeatureMap:
+        """The fitted map for one cell."""
+        if self._maps is None:
+            raise NotFittedError("MongeRepairer.fit must run first")
+        try:
+            return self._maps[(u, s, k)]
+        except KeyError:
+            raise ValidationError(
+                f"no Monge map fitted for (u={u}, s={s}, k={k})") from None
+
+    def fit(self, research: FairnessDataset) -> "MongeRepairer":
+        """Build ``T_{u,s,k}`` from the research data."""
+        maps: dict = {}
+        for u in research.u_values:
+            group = research.group(int(u))
+            sizes = {s: int(np.sum(group.s == s)) for s in (0, 1)}
+            if min(sizes.values()) < 2:
+                raise ValidationError(
+                    f"group u={int(u)} needs >= 2 research rows per "
+                    f"protected class (sizes {sizes})")
+            for k in range(research.n_features):
+                kdes = {
+                    s: GaussianKDE(group.features[group.s == s, k],
+                                   bandwidth_method=self.bandwidth_method)
+                    for s in (0, 1)
+                }
+                quantiles = self._barycenter_quantiles(kdes)
+                for s in (0, 1):
+                    maps[(int(u), s, k)] = self._tabulate_map(
+                        kdes[s], quantiles)
+        self._maps = maps
+        self._n_features = research.n_features
+        return self
+
+    def transform(self, dataset: FairnessDataset) -> FairnessDataset:
+        """Repair every row deterministically via the fitted maps."""
+        if self._maps is None:
+            raise NotFittedError("MongeRepairer.fit must run first")
+        if dataset.n_features != self._n_features:
+            raise ValidationError(
+                f"dataset has {dataset.n_features} features, maps were "
+                f"fitted for {self._n_features}")
+        repaired = dataset.features.copy()
+        for u in dataset.u_values:
+            for s in (0, 1):
+                mask = dataset.group_mask(int(u), s)
+                if not mask.any():
+                    continue
+                for k in range(dataset.n_features):
+                    mapping = self.feature_map(int(u), s, k)
+                    repaired[mask, k] = mapping(dataset.features[mask, k])
+        return dataset.with_features(repaired)
+
+    def fit_transform(self, research: FairnessDataset) -> FairnessDataset:
+        return self.fit(research).transform(research)
+
+    # -- internals -----------------------------------------------------------
+
+    def _barycenter_quantiles(self, kdes: dict) -> np.ndarray:
+        """``F_ν⁻¹`` on a uniform level lattice, via quantile averaging."""
+        levels = (np.arange(self.n_levels) + 0.5) / self.n_levels
+        inverse = {s: self._kde_quantiles(kdes[s], levels)
+                   for s in (0, 1)}
+        return (1.0 - self.t) * inverse[0] + self.t * inverse[1]
+
+    def _kde_quantiles(self, kde: GaussianKDE,
+                       levels: np.ndarray) -> np.ndarray:
+        """Invert a KDE CDF by monotone interpolation on a fine lattice."""
+        samples = np.asarray(kde.samples, dtype=float)
+        pad = 6.0 * kde.bandwidth + 1e-12
+        lattice = np.linspace(samples.min() - pad, samples.max() + pad,
+                              4 * self.n_knots)
+        cdf = kde.cdf(lattice)
+        # Strictify for interpolation stability.
+        cdf = np.maximum.accumulate(cdf)
+        cdf = np.clip(cdf, 0.0, 1.0)
+        return np.interp(levels, cdf, lattice)
+
+    def _tabulate_map(self, kde: GaussianKDE,
+                      barycenter_quantiles: np.ndarray) -> MongeFeatureMap:
+        """Compose ``F_ν⁻¹ ∘ F_{µ_s}`` on the knot lattice."""
+        samples = np.asarray(kde.samples, dtype=float)
+        pad = 3.0 * kde.bandwidth + 1e-12
+        knots = np.linspace(samples.min() - pad, samples.max() + pad,
+                            self.n_knots)
+        source_cdf = np.clip(kde.cdf(knots), 0.0, 1.0)
+        levels = (np.arange(barycenter_quantiles.size) + 0.5) \
+            / barycenter_quantiles.size
+        images = np.interp(source_cdf, levels, barycenter_quantiles)
+        return MongeFeatureMap(knots=knots, images=images)

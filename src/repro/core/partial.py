@@ -1,0 +1,139 @@
+"""Partial repair and the repair/damage trade-off (paper Section VI).
+
+The paper flags the trade-off between *repair strength* (how much
+conditional dependence is quenched) and *data damage* (how far the repaired
+features move from the originals, eroding predictive value) as future work.
+This module implements the two natural partial-repair mechanisms so that
+the trade-off can be studied:
+
+* **geodesic partial repair** — design the plan with target ``ν_t`` at
+  ``t < 0.5`` (closer to one marginal), via the ``t`` parameter of
+  Algorithm 1; and
+* **convex damping** — repair fully but release only a ``λ``-fraction of
+  the displacement, ``x' = (1 - λ) x + λ · repair(x)``, which needs no
+  redesign and can be tuned per batch.
+
+Damage metrics quantify what the repair cost in feature space.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import as_rng, check_probability
+from ..data.dataset import FairnessDataset
+from ..exceptions import ValidationError
+from .repair import DistributionalRepairer
+
+__all__ = ["dampen_repair", "repair_damage", "PartialRepairer"]
+
+
+def dampen_repair(original: FairnessDataset, repaired: FairnessDataset,
+                  amount: float) -> FairnessDataset:
+    """Convex combination ``(1 - amount) · original + amount · repaired``.
+
+    ``amount = 0`` returns the original features, ``amount = 1`` the full
+    repair.  Labels are taken from ``original`` (repairs never change
+    labels).
+    """
+    amount = check_probability(amount, name="amount")
+    if original.features.shape != repaired.features.shape:
+        raise ValidationError(
+            "original and repaired datasets must have identical shape "
+            f"({original.features.shape} != {repaired.features.shape})")
+    blended = ((1.0 - amount) * original.features
+               + amount * repaired.features)
+    return original.with_features(blended)
+
+
+def repair_damage(original: FairnessDataset,
+                  repaired: FairnessDataset) -> dict:
+    """Feature-space damage statistics of a repair.
+
+    Returns a dict with:
+
+    * ``mean_abs``: per-feature mean absolute displacement,
+    * ``rms``: per-feature root-mean-square displacement,
+    * ``max``: per-feature maximum absolute displacement,
+    * ``total_rms``: scalar RMS over all cells — the headline damage
+      number used by the trade-off benches.
+    """
+    if original.features.shape != repaired.features.shape:
+        raise ValidationError(
+            "original and repaired datasets must have identical shape "
+            f"({original.features.shape} != {repaired.features.shape})")
+    delta = repaired.features - original.features
+    return {
+        "mean_abs": np.abs(delta).mean(axis=0),
+        "rms": np.sqrt((delta ** 2).mean(axis=0)),
+        "max": np.abs(delta).max(axis=0),
+        "total_rms": float(np.sqrt((delta ** 2).mean())),
+    }
+
+
+class PartialRepairer:
+    """A :class:`DistributionalRepairer` with a strength dial.
+
+    Parameters
+    ----------
+    amount:
+        Fraction ``λ ∈ [0, 1]`` of the repair displacement to apply
+        (convex damping).
+    **repairer_kwargs:
+        Forwarded to the underlying :class:`DistributionalRepairer`
+        (including ``t`` for geodesic partiality — the two mechanisms
+        compose).
+    """
+
+    def __init__(self, amount: float = 1.0, **repairer_kwargs) -> None:
+        self.amount = check_probability(amount, name="amount")
+        self._repairer = DistributionalRepairer(**repairer_kwargs)
+
+    @property
+    def repairer(self) -> DistributionalRepairer:
+        return self._repairer
+
+    def fit(self, research: FairnessDataset) -> "PartialRepairer":
+        self._repairer.fit(research)
+        return self
+
+    def transform(self, dataset: FairnessDataset, *,
+                  rng=None) -> FairnessDataset:
+        """Repair, then blend back toward the original by ``1 - amount``."""
+        full = self._repairer.transform(dataset, rng=rng)
+        return dampen_repair(dataset, full, self.amount)
+
+    def fit_transform(self, research: FairnessDataset, *,
+                      rng=None) -> FairnessDataset:
+        return self.fit(research).transform(research, rng=rng)
+
+    def trade_off_curve(self, research: FairnessDataset,
+                        dataset: FairnessDataset, amounts, *,
+                        energy_fn, rng=None) -> list:
+        """Evaluate (damage, residual dependence) along an ``amount`` sweep.
+
+        Parameters
+        ----------
+        energy_fn:
+            Callable ``FairnessDataset -> float`` measuring residual
+            conditional dependence (e.g. the total ``E``).
+
+        Returns
+        -------
+        list of dict
+            One record per amount: ``{"amount", "energy", "damage"}``.
+        """
+        if not self._repairer.is_fitted:
+            self._repairer.fit(research)
+        generator = as_rng(rng)
+        full = self._repairer.transform(dataset, rng=generator)
+        records = []
+        for amount in amounts:
+            blended = dampen_repair(dataset, full,
+                                    check_probability(amount, name="amount"))
+            records.append({
+                "amount": float(amount),
+                "energy": float(energy_fn(blended)),
+                "damage": repair_damage(dataset, blended)["total_rms"],
+            })
+        return records

@@ -1,0 +1,242 @@
+"""Algorithm 2 — off-sample (archival) repair, plus the estimator API.
+
+Given the plans from Algorithm 1, each ``(u, s)``-labelled archival point
+``x`` is repaired per feature by:
+
+1. locating its grid cell ``q`` and within-cell offset ``τ`` (Eq. 14),
+2. a Bernoulli trial ``a ~ B(τ)`` selecting row ``q + a`` of ``π*`` —
+   the first source of randomness,
+3. a multinomial draw from the normalised selected row (Eq. 15) — the
+   second source of randomness — yielding the repaired grid state.
+
+The procedure preserves the cardinality of the archive, is ``O(log n_Q)``
+per point after an ``O(n_Q²)`` per-plan precomputation, and never touches
+the research data again — hence "torrent-ready".
+
+:class:`DistributionalRepairer` wraps Algorithms 1 + 2 in a familiar
+``fit`` / ``transform`` estimator interface with streaming support.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import as_rng
+from ..data.dataset import FairnessDataset
+from ..data.streaming import ArchiveStream
+from ..exceptions import NotFittedError, ValidationError
+from .design import design_repair
+from .plan import FeaturePlan, RepairPlan
+
+__all__ = ["repair_feature_values", "repair_dataset",
+           "DistributionalRepairer"]
+
+#: Supported rounding modes for the grid-cell selection step.
+ROUNDING_MODES = ("stochastic", "nearest")
+#: Supported output modes for the repaired value.
+OUTPUT_MODES = ("sample", "barycentric", "interpolated")
+
+
+def repair_feature_values(values, feature_plan: FeaturePlan, s: int, *,
+                          rng=None, rounding: str = "stochastic",
+                          output: str = "sample") -> np.ndarray:
+    """Repair a vector of one feature's values for one ``(u, s)`` subgroup.
+
+    Parameters
+    ----------
+    values:
+        Archival observations of a single feature within one subgroup.
+    feature_plan:
+        The ``(u, k)`` bundle from Algorithm 1.
+    s:
+        Protected label of these observations (selects ``π*_{·,s}``).
+    rounding:
+        ``"stochastic"`` is the paper's Bernoulli trial on ``τ``;
+        ``"nearest"`` deterministically picks the closer grid node
+        (ablation).
+    output:
+        ``"sample"`` draws from the conditional row (the paper's Eq. 15);
+        ``"barycentric"`` returns the conditional mean (deterministic
+        ablation; loses the mass-split randomisation);
+        ``"interpolated"`` draws the grid state as ``"sample"`` does and
+        then adds uniform within-cell jitter — an extension producing
+        *continuous* repaired values whose grid projection matches the
+        sampled pmf, so the repaired support is not quantised to ``Q``.
+    """
+    if rounding not in ROUNDING_MODES:
+        raise ValidationError(
+            f"unknown rounding {rounding!r}; expected {ROUNDING_MODES}")
+    if output not in OUTPUT_MODES:
+        raise ValidationError(
+            f"unknown output {output!r}; expected {OUTPUT_MODES}")
+    xs = np.atleast_1d(np.asarray(values, dtype=float))
+    if xs.size == 0:
+        return xs.copy()
+
+    grid = feature_plan.grid
+    idx, tau = grid.locate(xs)
+    if rounding == "stochastic":
+        generator = as_rng(rng)
+        advance = (generator.random(xs.size) < tau).astype(int)
+    else:
+        advance = (tau >= 0.5).astype(int)
+    rows = np.minimum(idx + advance, grid.n_states - 1)
+
+    if output == "barycentric":
+        return feature_plan.expected_targets(s)[rows]
+
+    generator = as_rng(rng)
+    cdfs = feature_plan.conditional_cdfs(s)
+    draws = generator.random(xs.size)
+    # Vectorised inverse-CDF sampling: one searchsorted per point into its
+    # own row.  Guard the last column against round-off (< 1.0 sums).
+    row_cdfs = cdfs[rows]
+    row_cdfs[:, -1] = 1.0
+    states = (row_cdfs < draws[:, None]).sum(axis=1)
+    states = np.minimum(states, grid.n_states - 1)
+    repaired = grid.nodes[states]
+    if output == "interpolated":
+        jitter = generator.uniform(-0.5, 0.5, size=xs.size) * grid.spacing
+        repaired = np.clip(repaired + jitter, grid.low, grid.high)
+    return repaired
+
+
+def repair_dataset(dataset: FairnessDataset, plan: RepairPlan, *,
+                   rng=None, rounding: str = "stochastic",
+                   output: str = "sample") -> FairnessDataset:
+    """Apply Algorithm 2 to every row of a labelled data set.
+
+    Rows whose ``u`` group has no designed plan raise, because silently
+    passing them through would corrupt downstream fairness measurements.
+    """
+    if dataset.n_features != plan.n_features:
+        raise ValidationError(
+            f"dataset has {dataset.n_features} features, plan was designed "
+            f"for {plan.n_features}")
+    missing = [int(u) for u in dataset.u_values if not plan.covers(int(u))]
+    if missing:
+        raise ValidationError(
+            f"plan has no design for groups u={missing}; re-run Algorithm 1 "
+            "on research data covering them")
+
+    generator = as_rng(rng)
+    repaired = dataset.features.copy()
+    for u in dataset.u_values:
+        for s in (0, 1):
+            mask = dataset.group_mask(int(u), s)
+            if not mask.any():
+                continue
+            for k in range(dataset.n_features):
+                repaired[mask, k] = repair_feature_values(
+                    dataset.features[mask, k],
+                    plan.feature_plan(int(u), k), s, rng=generator,
+                    rounding=rounding, output=output)
+    return dataset.with_features(repaired)
+
+
+class DistributionalRepairer:
+    """Estimator-style interface for the paper's full method.
+
+    ``fit`` runs Algorithm 1 on the research data; ``transform`` runs
+    Algorithm 2 on any labelled data set (on-sample or archival);
+    ``transform_stream`` repairs an unbounded archive batch-by-batch.
+
+    Parameters
+    ----------
+    n_states:
+        Grid resolution ``n_Q`` (int, or ``(u, k) -> int`` mapping).
+    t:
+        Repair-target position on the W2 geodesic; ``0.5`` = full fair
+        repair, smaller values move the target toward ``µ_0``.
+    solver:
+        Plan solver — ``"exact"`` (default), ``"simplex"``, ``"sinkhorn"``.
+    rounding, output:
+        Algorithm-2 randomisation controls (see
+        :func:`repair_feature_values`).
+    rng:
+        Seed or generator for the repair randomness; ``transform`` also
+        accepts a per-call override.
+    """
+
+    def __init__(self, n_states=50, *, t: float = 0.5,
+                 solver: str = "exact",
+                 marginal_estimator: str = "kde",
+                 bandwidth_method: str = "silverman",
+                 padding: float = 0.0, epsilon: float = 5e-3,
+                 rounding: str = "stochastic", output: str = "sample",
+                 rng=None) -> None:
+        if rounding not in ROUNDING_MODES:
+            raise ValidationError(
+                f"unknown rounding {rounding!r}; expected {ROUNDING_MODES}")
+        if output not in OUTPUT_MODES:
+            raise ValidationError(
+                f"unknown output {output!r}; expected {OUTPUT_MODES}")
+        self.n_states = n_states
+        self.t = t
+        self.solver = solver
+        self.marginal_estimator = marginal_estimator
+        self.bandwidth_method = bandwidth_method
+        self.padding = padding
+        self.epsilon = epsilon
+        self.rounding = rounding
+        self.output = output
+        self._rng = as_rng(rng)
+        self._plan: RepairPlan | None = None
+
+    @property
+    def plan(self) -> RepairPlan:
+        """The fitted :class:`RepairPlan` (raises before ``fit``)."""
+        if self._plan is None:
+            raise NotFittedError(
+                "DistributionalRepairer.fit must be called before the plan "
+                "is available")
+        return self._plan
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._plan is not None
+
+    def fit(self, research: FairnessDataset) -> "DistributionalRepairer":
+        """Design the repair plans on the research data (Algorithm 1)."""
+        self._plan = design_repair(
+            research, self.n_states, t=self.t, solver=self.solver,
+            marginal_estimator=self.marginal_estimator,
+            bandwidth_method=self.bandwidth_method, padding=self.padding,
+            epsilon=self.epsilon)
+        return self
+
+    def transform(self, dataset: FairnessDataset, *,
+                  rng=None) -> FairnessDataset:
+        """Repair a labelled data set (Algorithm 2)."""
+        generator = self._rng if rng is None else as_rng(rng)
+        return repair_dataset(dataset, self.plan, rng=generator,
+                              rounding=self.rounding, output=self.output)
+
+    def fit_transform(self, research: FairnessDataset, *,
+                      rng=None) -> FairnessDataset:
+        """Fit on the research data and repair it (on-sample repair)."""
+        return self.fit(research).transform(research, rng=rng)
+
+    def transform_stream(self, stream, *, rng=None):
+        """Repair an archival stream batch-by-batch (lazily).
+
+        Parameters
+        ----------
+        stream:
+            An :class:`~repro.data.streaming.ArchiveStream` or any iterable
+            of :class:`FairnessDataset` batches.
+
+        Yields
+        ------
+        FairnessDataset
+            Each repaired batch, in arrival order.
+        """
+        generator = self._rng if rng is None else as_rng(rng)
+        if not self.is_fitted:
+            raise NotFittedError(
+                "DistributionalRepairer.fit must be called before "
+                "transform_stream")
+        if not isinstance(stream, ArchiveStream):
+            stream = iter(stream)
+        for batch in stream:
+            yield self.transform(batch, rng=generator)

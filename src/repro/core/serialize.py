@@ -1,0 +1,141 @@
+"""Persistence for repair plans.
+
+The whole point of the paper's method is *design once, apply forever*:
+the plans ``π*_{u,s,k}`` are computed on the research data and then used
+to repair unbounded archival torrents. In a real deployment the design
+and application happen in different processes (or machines, or months),
+so the plan must survive a round-trip to disk.
+
+:func:`save_plan` / :func:`load_plan` serialise a
+:class:`~repro.core.plan.RepairPlan` to a single ``.npz`` archive: every
+array under a structured key plus a JSON header carrying the design
+metadata. The format is versioned and validated on load.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from ..density.grid import InterpolationGrid
+from ..exceptions import DataError, ValidationError
+from ..ot.coupling import TransportPlan
+from .plan import FeaturePlan, RepairPlan
+
+__all__ = ["save_plan", "load_plan", "FORMAT_VERSION"]
+
+#: Bump when the on-disk layout changes incompatibly.
+FORMAT_VERSION = 1
+
+
+def save_plan(plan: RepairPlan, path) -> Path:
+    """Serialise ``plan`` to ``path`` (a ``.npz`` archive).
+
+    Returns the resolved path actually written (numpy appends ``.npz``
+    when missing).
+    """
+    if not isinstance(plan, RepairPlan):
+        raise ValidationError(
+            f"save_plan expects a RepairPlan, got {type(plan).__name__}")
+    file_path = Path(path)
+
+    header = {
+        "format_version": FORMAT_VERSION,
+        "n_features": plan.n_features,
+        "t": plan.t,
+        "metadata": _jsonable(plan.metadata),
+        "cells": [[int(u), int(k)] for (u, k) in sorted(plan.feature_plans)],
+    }
+    arrays = {"__header__": np.frombuffer(
+        json.dumps(header).encode("utf-8"), dtype=np.uint8)}
+    for (u, k), feature_plan in plan.feature_plans.items():
+        prefix = f"cell_{u}_{k}"
+        arrays[f"{prefix}_nodes"] = feature_plan.grid.nodes
+        arrays[f"{prefix}_barycenter"] = feature_plan.barycenter
+        for s in feature_plan.s_values:
+            arrays[f"{prefix}_marginal_{s}"] = feature_plan.marginals[s]
+            arrays[f"{prefix}_plan_{s}"] = feature_plan.transports[s].matrix
+            arrays[f"{prefix}_cost_{s}"] = np.array(
+                feature_plan.transports[s].cost)
+
+    np.savez_compressed(file_path, **arrays)
+    if file_path.suffix != ".npz":
+        file_path = file_path.with_name(file_path.name + ".npz")
+    return file_path
+
+
+def load_plan(path) -> RepairPlan:
+    """Load a :class:`RepairPlan` previously written by :func:`save_plan`.
+
+    Raises
+    ------
+    DataError
+        When the file is missing, not a plan archive, or from an
+        incompatible format version.
+    """
+    file_path = Path(path)
+    if not file_path.exists():
+        raise DataError(f"plan file not found: {file_path}")
+    try:
+        with np.load(file_path) as archive:
+            if "__header__" not in archive:
+                raise DataError(
+                    f"{file_path} is not a repro plan archive "
+                    "(missing header)")
+            header = json.loads(bytes(archive["__header__"]).decode("utf-8"))
+            _check_version(header, file_path)
+            feature_plans = {}
+            for u, k in header["cells"]:
+                prefix = f"cell_{u}_{k}"
+                nodes = archive[f"{prefix}_nodes"]
+                grid = InterpolationGrid(nodes)
+                marginals = {}
+                transports = {}
+                for s in (0, 1):
+                    marginals[s] = archive[f"{prefix}_marginal_{s}"]
+                    transports[s] = TransportPlan(
+                        archive[f"{prefix}_plan_{s}"], nodes, nodes,
+                        float(archive[f"{prefix}_cost_{s}"]))
+                feature_plans[(u, k)] = FeaturePlan(
+                    grid=grid, marginals=marginals,
+                    barycenter=archive[f"{prefix}_barycenter"],
+                    transports=transports)
+    except (KeyError, ValueError, json.JSONDecodeError) as exc:
+        raise DataError(
+            f"{file_path} is corrupt or not a repro plan archive: "
+            f"{exc}") from exc
+    return RepairPlan(feature_plans=feature_plans,
+                      n_features=int(header["n_features"]),
+                      t=float(header["t"]),
+                      metadata=dict(header.get("metadata", {})))
+
+
+def _check_version(header: dict, file_path: Path) -> None:
+    version = header.get("format_version")
+    if version != FORMAT_VERSION:
+        raise DataError(
+            f"{file_path} uses plan-format version {version}; this "
+            f"library reads version {FORMAT_VERSION}")
+
+
+def _jsonable(metadata: dict) -> dict:
+    """Best-effort conversion of metadata values to JSON-safe types."""
+    out = {}
+    for key, value in metadata.items():
+        if isinstance(value, dict):
+            out[str(key)] = {str(k): _scalar(v) for k, v in value.items()}
+        else:
+            out[str(key)] = _scalar(value)
+    return out
+
+
+def _scalar(value):
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, (int, float, str, bool)) or value is None:
+        return value
+    return str(value)

@@ -1,0 +1,27 @@
+"""Data substrate: containers, schemas, simulators, Adult, streaming."""
+
+from .adult import (DEFAULT_ADULT_SIZE, adult_schema, load_adult_csv,
+                    synthesize_adult)
+from .binning import AttributeBinner
+from .dataset import FairnessDataset, ResearchArchiveSplit
+from .schema import ColumnSpec, TableSchema
+from .simulated import (GaussianMixtureSpec, paper_simulation_spec,
+                        simulate_paper_data)
+from .streaming import ArchiveStream, stream_batches
+
+__all__ = [
+    "ArchiveStream",
+    "AttributeBinner",
+    "ColumnSpec",
+    "DEFAULT_ADULT_SIZE",
+    "FairnessDataset",
+    "GaussianMixtureSpec",
+    "ResearchArchiveSplit",
+    "TableSchema",
+    "adult_schema",
+    "load_adult_csv",
+    "paper_simulation_spec",
+    "simulate_paper_data",
+    "stream_batches",
+    "synthesize_adult",
+]

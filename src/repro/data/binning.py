@@ -1,0 +1,119 @@
+"""Discretisation of continuous unprotected attributes.
+
+The paper's fairness definition conditions on a *discrete* unprotected
+attribute ``U``; extending to continuous ``u ∈ R`` is called out as
+future work (Section VI). The standard bridge — and the one implemented
+here — is to bin the continuous attribute and run the ``(u, s, k)``
+machinery per bin: with enough bins the conditional-independence target
+is approximated arbitrarily well, at the price of thinner research
+subgroups per bin.
+
+:class:`AttributeBinner` supports uniform and quantile binning, is
+fit/transform-shaped so the same edges discretise research and archive
+consistently, and can rewrite a :class:`FairnessDataset` whose ``u`` is
+continuous.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .._validation import as_1d_array, check_positive_int
+from ..exceptions import NotFittedError, ValidationError
+from .dataset import FairnessDataset
+
+__all__ = ["AttributeBinner"]
+
+_STRATEGIES = ("uniform", "quantile")
+
+
+class AttributeBinner:
+    """Bin a continuous attribute into ``n_bins`` ordinal groups.
+
+    Parameters
+    ----------
+    n_bins:
+        Number of output groups (``u ∈ {0, ..., n_bins - 1}``).
+    strategy:
+        ``"quantile"`` (default) gives equal-mass bins — each bin holds
+        roughly the same number of research rows, which keeps every
+        per-bin repair designable; ``"uniform"`` gives equal-width bins.
+    """
+
+    def __init__(self, n_bins: int = 4, *,
+                 strategy: str = "quantile") -> None:
+        self.n_bins = check_positive_int(n_bins, name="n_bins", minimum=2)
+        if strategy not in _STRATEGIES:
+            raise ValidationError(
+                f"unknown strategy {strategy!r}; expected one of "
+                f"{_STRATEGIES}")
+        self.strategy = strategy
+        self._edges: np.ndarray | None = None
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._edges is not None
+
+    @property
+    def edges(self) -> np.ndarray:
+        """Interior bin edges (length ``n_bins - 1``)."""
+        if self._edges is None:
+            raise NotFittedError("AttributeBinner.fit must run first")
+        return self._edges.copy()
+
+    def fit(self, values) -> "AttributeBinner":
+        """Learn bin edges from (research) attribute values."""
+        xs = as_1d_array(values, name="values")
+        if self.strategy == "quantile":
+            levels = np.linspace(0.0, 1.0, self.n_bins + 1)[1:-1]
+            edges = np.quantile(xs, levels)
+        else:
+            lo, hi = float(xs.min()), float(xs.max())
+            if hi <= lo:
+                hi = lo + max(abs(lo) * 1e-6, 1e-6)
+            edges = np.linspace(lo, hi, self.n_bins + 1)[1:-1]
+        # Collapse duplicate edges (heavy ties) rather than emit empty
+        # bins; the effective bin count may shrink.
+        self._edges = np.unique(edges)
+        return self
+
+    def transform(self, values) -> np.ndarray:
+        """Map attribute values to bin indices ``0..n_effective_bins-1``."""
+        if self._edges is None:
+            raise NotFittedError("AttributeBinner.fit must run first")
+        xs = as_1d_array(values, name="values")
+        return np.searchsorted(self._edges, xs, side="right")
+
+    def fit_transform(self, values) -> np.ndarray:
+        return self.fit(values).transform(values)
+
+    @property
+    def n_effective_bins(self) -> int:
+        """Actual number of groups after duplicate-edge collapsing."""
+        if self._edges is None:
+            raise NotFittedError("AttributeBinner.fit must run first")
+        return self._edges.size + 1
+
+    def bin_dataset(self, dataset: FairnessDataset,
+                    continuous_u) -> FairnessDataset:
+        """Replace a dataset's ``u`` with bins of a continuous attribute.
+
+        Parameters
+        ----------
+        dataset:
+            The dataset whose rows the attribute belongs to.
+        continuous_u:
+            Continuous attribute values, aligned with the rows.  The
+            binner must already be fitted (typically on the research
+            portion only, so research and archive share edges).
+        """
+        values = as_1d_array(continuous_u, name="continuous_u")
+        if values.size != len(dataset):
+            raise ValidationError(
+                f"continuous_u has {values.size} values for "
+                f"{len(dataset)} rows")
+        binned = self.transform(values)
+        return FairnessDataset(dataset.features, dataset.s, binned,
+                               dataset.y, dataset.schema)

@@ -1,0 +1,139 @@
+"""Column schemas for fairness data sets.
+
+A tiny, explicit schema layer: every :class:`~repro.data.dataset.FairnessDataset`
+carries a :class:`TableSchema` naming its feature columns and identifying
+the protected (``S``) and unprotected (``U``) attributes.  The schema makes
+error messages actionable and lets loaders validate raw records before they
+enter the pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..exceptions import SchemaError
+
+__all__ = ["ColumnSpec", "TableSchema"]
+
+
+@dataclass(frozen=True)
+class ColumnSpec:
+    """Description of one feature column.
+
+    Attributes
+    ----------
+    name:
+        Column identifier (unique within a schema).
+    kind:
+        ``"continuous"`` or ``"binary"``; the repair algorithms operate on
+        continuous features, binary columns are used for attributes.
+    low, high:
+        Optional domain bounds used for validation.
+    """
+
+    name: str
+    kind: str = "continuous"
+    low: float | None = None
+    high: float | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("column name must be non-empty")
+        if self.kind not in ("continuous", "binary"):
+            raise SchemaError(
+                f"column {self.name!r}: kind must be 'continuous' or "
+                f"'binary', got {self.kind!r}")
+        if (self.low is not None and self.high is not None
+                and self.low >= self.high):
+            raise SchemaError(
+                f"column {self.name!r}: low must be < high "
+                f"({self.low} >= {self.high})")
+
+    def validate_values(self, values) -> None:
+        """Raise :class:`SchemaError` when values violate this spec."""
+        arr = np.asarray(values, dtype=float).ravel()
+        if not np.all(np.isfinite(arr)):
+            raise SchemaError(
+                f"column {self.name!r} contains non-finite values")
+        if self.kind == "binary" and not np.all(np.isin(arr, (0.0, 1.0))):
+            raise SchemaError(f"column {self.name!r} must be binary")
+        if self.low is not None and np.any(arr < self.low):
+            raise SchemaError(
+                f"column {self.name!r} has values below {self.low}")
+        if self.high is not None and np.any(arr > self.high):
+            raise SchemaError(
+                f"column {self.name!r} has values above {self.high}")
+
+
+@dataclass(frozen=True)
+class TableSchema:
+    """Schema for a fairness table: features + the two attribute columns.
+
+    Attributes
+    ----------
+    features:
+        Ordered specs of the feature columns (the ``X`` block).
+    protected:
+        Name of the protected attribute ``S``.
+    unprotected:
+        Name of the unprotected attribute ``U``.
+    """
+
+    features: tuple
+    protected: str = "s"
+    unprotected: str = "u"
+
+    def __post_init__(self) -> None:
+        specs = tuple(self.features)
+        if not specs:
+            raise SchemaError("schema needs at least one feature column")
+        if not all(isinstance(spec, ColumnSpec) for spec in specs):
+            raise SchemaError("features must be ColumnSpec instances")
+        names = [spec.name for spec in specs]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate feature names in {names}")
+        reserved = {self.protected, self.unprotected}
+        if len(reserved) != 2:
+            raise SchemaError(
+                "protected and unprotected attribute names must differ")
+        clash = reserved.intersection(names)
+        if clash:
+            raise SchemaError(
+                f"attribute names {sorted(clash)} clash with feature names")
+        object.__setattr__(self, "features", specs)
+
+    @classmethod
+    def from_names(cls, feature_names, *, protected: str = "s",
+                   unprotected: str = "u") -> "TableSchema":
+        """Schema with all-continuous features from bare names."""
+        specs = tuple(ColumnSpec(str(name)) for name in feature_names)
+        return cls(specs, protected=protected, unprotected=unprotected)
+
+    @property
+    def feature_names(self) -> tuple:
+        return tuple(spec.name for spec in self.features)
+
+    @property
+    def n_features(self) -> int:
+        return len(self.features)
+
+    def feature_index(self, name: str) -> int:
+        """Position of a named feature column."""
+        try:
+            return self.feature_names.index(name)
+        except ValueError:
+            raise SchemaError(
+                f"unknown feature {name!r}; schema has "
+                f"{list(self.feature_names)}") from None
+
+    def validate_matrix(self, features) -> None:
+        """Validate an ``(n, d)`` feature matrix column-by-column."""
+        arr = np.asarray(features, dtype=float)
+        if arr.ndim != 2 or arr.shape[1] != self.n_features:
+            raise SchemaError(
+                f"feature matrix shape {arr.shape} incompatible with "
+                f"schema ({self.n_features} features)")
+        for index, spec in enumerate(self.features):
+            spec.validate_values(arr[:, index])

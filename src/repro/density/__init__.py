@@ -1,0 +1,19 @@
+"""Density-estimation substrate: KDE, bandwidths, grids, histograms."""
+
+from .bandwidth import scott_bandwidth, select_bandwidth, silverman_bandwidth
+from .grid import InterpolationGrid, uniform_grid
+from .histogram import HistogramDensity, histogram_pmf
+from .kde import GaussianKDE, gaussian_kernel, interpolate_pmf
+
+__all__ = [
+    "GaussianKDE",
+    "HistogramDensity",
+    "InterpolationGrid",
+    "gaussian_kernel",
+    "histogram_pmf",
+    "interpolate_pmf",
+    "scott_bandwidth",
+    "select_bandwidth",
+    "silverman_bandwidth",
+    "uniform_grid",
+]

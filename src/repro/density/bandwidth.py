@@ -1,0 +1,71 @@
+"""Kernel bandwidth selectors.
+
+The paper sets the Gaussian-kernel bandwidth with "Silverman's method"
+(reference [31]).  We implement the two standard Silverman variants plus
+Scott's rule; the robust rule-of-thumb (using the min of the standard
+deviation and the normalised IQR) is the library default because it degrades
+gracefully on skewed real data such as Adult.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import as_1d_array
+from ..exceptions import ValidationError
+
+__all__ = [
+    "silverman_bandwidth",
+    "scott_bandwidth",
+    "select_bandwidth",
+]
+
+# Smallest bandwidth returned; prevents degenerate (zero-variance) samples
+# from collapsing the kernel into a delta and poisoning downstream KDE.
+_MIN_BANDWIDTH = 1e-9
+
+
+def silverman_bandwidth(samples, *, robust: bool = True) -> float:
+    """Silverman's rule-of-thumb bandwidth for Gaussian kernels.
+
+    ``h = 0.9 * min(σ, IQR / 1.34) * n^{-1/5}`` in the robust (default)
+    form, or the classical ``h = 1.06 σ n^{-1/5}`` when ``robust=False``.
+    """
+    xs = as_1d_array(samples, name="samples")
+    n = xs.size
+    sigma = float(np.std(xs, ddof=1)) if n > 1 else 0.0
+    if robust:
+        q75, q25 = np.percentile(xs, [75.0, 25.0])
+        iqr = float(q75 - q25)
+        spread_candidates = [s for s in (sigma, iqr / 1.34) if s > 0.0]
+        spread = min(spread_candidates) if spread_candidates else 0.0
+        factor = 0.9
+    else:
+        spread = sigma
+        factor = 1.06
+    bandwidth = factor * spread * n ** (-0.2)
+    return max(bandwidth, _MIN_BANDWIDTH)
+
+
+def scott_bandwidth(samples) -> float:
+    """Scott's rule ``h = σ n^{-1/5}``; slightly smoother than Silverman."""
+    xs = as_1d_array(samples, name="samples")
+    sigma = float(np.std(xs, ddof=1)) if xs.size > 1 else 0.0
+    return max(sigma * xs.size ** (-0.2), _MIN_BANDWIDTH)
+
+
+def select_bandwidth(samples, method: str = "silverman") -> float:
+    """Dispatch on a named bandwidth rule.
+
+    ``method`` is one of ``"silverman"`` (robust, library default),
+    ``"silverman-classic"``, or ``"scott"``.
+    """
+    if method == "silverman":
+        return silverman_bandwidth(samples, robust=True)
+    if method == "silverman-classic":
+        return silverman_bandwidth(samples, robust=False)
+    if method == "scott":
+        return scott_bandwidth(samples)
+    raise ValidationError(
+        f"unknown bandwidth method {method!r}; expected 'silverman', "
+        "'silverman-classic' or 'scott'")

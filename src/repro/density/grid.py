@@ -1,0 +1,119 @@
+"""Uniform interpolation supports (the sets ``Q`` of Algorithm 1).
+
+Line 4 of Algorithm 1 builds, for every ``(u, k)``, a uniformly spaced grid
+between the minimum and maximum of the *combined* research observations of
+feature ``k`` in group ``u``.  These grids carry the interpolated marginal
+pmfs, the barycentric repair target and (as the row/column index sets) the
+OT plans themselves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._validation import as_1d_array, check_positive_int
+from ..exceptions import ValidationError
+
+__all__ = ["InterpolationGrid", "uniform_grid"]
+
+
+def uniform_grid(samples, n_states: int, *, padding: float = 0.0) -> np.ndarray:
+    """Uniform grid spanning the sample range (Algorithm 1, line 4).
+
+    ``ζ_i = (n_Q - i)/(n_Q - 1) · min(x) + (i - 1)/(n_Q - 1) · max(x)`` for
+    ``i = 1..n_Q``, optionally widened by a relative ``padding`` fraction of
+    the range on each side (useful when archival data may fall slightly
+    outside the research range).
+    """
+    xs = as_1d_array(samples, name="samples")
+    n_states = check_positive_int(n_states, name="n_states", minimum=2)
+    if padding < 0.0:
+        raise ValidationError(f"padding must be >= 0, got {padding}")
+    lo = float(np.min(xs))
+    hi = float(np.max(xs))
+    if hi <= lo:
+        # Degenerate sample: widen symmetrically so the grid is valid.
+        half_width = max(abs(lo) * 1e-6, 1e-6)
+        lo, hi = lo - half_width, hi + half_width
+    span = hi - lo
+    lo -= padding * span
+    hi += padding * span
+    return np.linspace(lo, hi, n_states)
+
+
+@dataclass(frozen=True)
+class InterpolationGrid:
+    """A uniform support ``Q`` with the cell arithmetic Algorithm 2 needs.
+
+    Attributes
+    ----------
+    nodes:
+        Strictly increasing grid nodes ``ζ_1 < ... < ζ_{n_Q}``.
+    """
+
+    nodes: np.ndarray
+
+    def __post_init__(self) -> None:
+        nodes = as_1d_array(self.nodes, name="nodes")
+        if nodes.size < 2:
+            raise ValidationError("grid needs at least two nodes")
+        if np.any(np.diff(nodes) <= 0):
+            raise ValidationError("grid nodes must be strictly increasing")
+        object.__setattr__(self, "nodes", nodes)
+
+    @classmethod
+    def from_samples(cls, samples, n_states: int, *,
+                     padding: float = 0.0) -> "InterpolationGrid":
+        """Build the Algorithm-1 grid over ``samples``."""
+        return cls(uniform_grid(samples, n_states, padding=padding))
+
+    @property
+    def n_states(self) -> int:
+        return self.nodes.size
+
+    @property
+    def low(self) -> float:
+        return float(self.nodes[0])
+
+    @property
+    def high(self) -> float:
+        return float(self.nodes[-1])
+
+    @property
+    def spacing(self) -> float:
+        """Common node spacing (grids are uniform by construction)."""
+        return float((self.high - self.low) / (self.n_states - 1))
+
+    def locate(self, values) -> tuple[np.ndarray, np.ndarray]:
+        """Cell index ``q`` and within-cell offset ``τ`` for each value.
+
+        Implements Algorithm 2 lines 5-6: ``ζ_q = ⌊x⌋`` in ``Q`` and
+        ``τ = (x - ζ_q) / (ζ_{q+1} - ζ_q) ∈ [0, 1]``.  Values outside the
+        grid range are clipped to the boundary cells (τ saturates at 0 / 1),
+        mirroring the paper's assumption that archival data lie in the range
+        of the research data, while remaining total for stragglers.
+        """
+        xs = np.atleast_1d(np.asarray(values, dtype=float))
+        if not np.all(np.isfinite(xs)):
+            raise ValidationError("values contain non-finite entries")
+        clipped = np.clip(xs, self.low, self.high)
+        idx = np.searchsorted(self.nodes, clipped, side="right") - 1
+        idx = np.clip(idx, 0, self.n_states - 2)
+        gaps = self.nodes[idx + 1] - self.nodes[idx]
+        tau = (clipped - self.nodes[idx]) / gaps
+        return idx, np.clip(tau, 0.0, 1.0)
+
+    def coverage(self, values) -> float:
+        """Fraction of ``values`` inside ``[low, high]``.
+
+        A diagnostic for the stationarity assumption: low coverage means the
+        archive drifts outside the research-data range and repairs saturate
+        at the grid boundary.
+        """
+        xs = np.atleast_1d(np.asarray(values, dtype=float))
+        if xs.size == 0:
+            return 1.0
+        inside = (xs >= self.low) & (xs <= self.high)
+        return float(np.mean(inside))

@@ -1,0 +1,46 @@
+"""Exception hierarchy for :mod:`repro`.
+
+All library-raised errors derive from :class:`ReproError` so that callers can
+catch everything coming out of this package with a single ``except`` clause,
+while still being able to discriminate the common failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An argument failed validation (shape, dtype, domain, ...)."""
+
+
+class NotFittedError(ReproError, RuntimeError):
+    """A transformer was used before its ``fit`` method was called."""
+
+
+class ConvergenceError(ReproError, RuntimeError):
+    """An iterative solver failed to converge within its iteration budget."""
+
+    def __init__(self, message: str, *, iterations: int | None = None,
+                 residual: float | None = None) -> None:
+        super().__init__(message)
+        self.iterations = iterations
+        self.residual = residual
+
+
+class InfeasibleProblemError(ReproError, ValueError):
+    """An optimisation problem has no feasible solution.
+
+    For balanced transportation problems this indicates inconsistent
+    marginals (total source mass != total target mass).
+    """
+
+
+class DataError(ReproError, ValueError):
+    """A dataset is malformed or inconsistent with its declared schema."""
+
+
+class SchemaError(DataError):
+    """A schema definition is invalid or a record violates the schema."""

@@ -1,0 +1,48 @@
+"""Experiment drivers regenerating every table and figure of the paper.
+
+* :mod:`~repro.experiments.table1` — Table I (simulated repair comparison).
+* :mod:`~repro.experiments.table2` — Table II (Adult income repairs).
+* :mod:`~repro.experiments.fig3` — Figure 3 (``E`` vs ``n_R``).
+* :mod:`~repro.experiments.fig4` — Figure 4 (``E`` vs ``n_Q``).
+* :mod:`~repro.experiments.montecarlo` — shared repetition harness.
+* :mod:`~repro.experiments.reporting` — ASCII table/series rendering.
+"""
+
+from .extensions import (CorrelationStudyResult, MongeStudyResult,
+                         TradeoffResult, copula_biased_spec,
+                         run_correlation_study, run_monge_study,
+                         run_tradeoff)
+from .fig3 import Fig3Config, Fig3Result, run_fig3
+from .fig4 import Fig4Config, Fig4Result, run_fig4
+from .montecarlo import MonteCarloSummary, run_monte_carlo
+from .reporting import banner, format_mean_std, format_series, format_table
+from .table1 import Table1Config, Table1Result, run_table1
+from .table2 import Table2Config, Table2Result, run_table2
+
+__all__ = [
+    "CorrelationStudyResult",
+    "Fig3Config",
+    "Fig3Result",
+    "Fig4Config",
+    "Fig4Result",
+    "MongeStudyResult",
+    "MonteCarloSummary",
+    "Table1Config",
+    "TradeoffResult",
+    "Table1Result",
+    "Table2Config",
+    "Table2Result",
+    "banner",
+    "copula_biased_spec",
+    "format_mean_std",
+    "format_series",
+    "format_table",
+    "run_correlation_study",
+    "run_fig3",
+    "run_fig4",
+    "run_monge_study",
+    "run_monte_carlo",
+    "run_tradeoff",
+    "run_table1",
+    "run_table2",
+]

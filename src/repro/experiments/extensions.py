@@ -1,0 +1,185 @@
+"""Extension studies beyond the paper's evaluation.
+
+Three structured drivers, reported like the table/figure experiments:
+
+* :func:`run_tradeoff` — residual dependence vs feature damage along the
+  partial-repair dial λ (Section VI's flagged trade-off);
+* :func:`run_correlation_study` — per-feature vs joint repair on data
+  whose unfairness hides in the correlation structure (the Section VI
+  limitation);
+* :func:`run_monge_study` — stochastic Kantorovich repair vs the
+  deterministic Monge-map limit (Section VI's individual-fairness
+  conjecture).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.joint import JointDistributionalRepairer
+from ..core.monge import MongeRepairer
+from ..core.partial import PartialRepairer, repair_damage
+from ..core.repair import DistributionalRepairer
+from ..data.dataset import FairnessDataset
+from ..data.simulated import GaussianMixtureSpec, paper_simulation_spec
+from ..metrics.fairness import conditional_dependence_energy
+from ..metrics.multivariate import correlation_gap, sliced_dependence
+from .reporting import format_table
+
+__all__ = ["TradeoffResult", "run_tradeoff", "CorrelationStudyResult",
+           "run_correlation_study", "MongeStudyResult", "run_monge_study",
+           "copula_biased_spec"]
+
+
+# -- partial-repair trade-off --------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TradeoffResult:
+    """The λ-sweep of (residual E, damage)."""
+
+    amounts: np.ndarray
+    energies: np.ndarray
+    damages: np.ndarray
+
+    def render(self) -> str:
+        rows = [[f"{a:.2f}", f"{e:.4g}", f"{d:.4g}"]
+                for a, e, d in zip(self.amounts, self.energies,
+                                   self.damages)]
+        return format_table(["lambda", "E residual", "damage RMS"], rows,
+                            title="Extension — partial-repair trade-off")
+
+    def is_monotone_damage(self) -> bool:
+        return bool(np.all(np.diff(self.damages) >= -1e-12))
+
+
+def run_tradeoff(*, n_research: int = 500, n_archive: int = 4000,
+                 amounts=None, seed: int = 2024) -> TradeoffResult:
+    """Sweep λ on the paper's simulated setting."""
+    if amounts is None:
+        amounts = np.linspace(0.0, 1.0, 6)
+    split = paper_simulation_spec().sample(
+        n_research + n_archive,
+        rng=np.random.default_rng(seed)).split(n_research=n_research,
+                                               rng=seed)
+
+    def energy(dataset: FairnessDataset) -> float:
+        return conditional_dependence_energy(dataset.features, dataset.s,
+                                             dataset.u).total
+
+    partial = PartialRepairer(n_states=50, rng=seed)
+    records = partial.trade_off_curve(split.research, split.archive,
+                                      amounts, energy_fn=energy, rng=seed)
+    return TradeoffResult(
+        amounts=np.asarray([r["amount"] for r in records]),
+        energies=np.asarray([r["energy"] for r in records]),
+        damages=np.asarray([r["damage"] for r in records]))
+
+
+# -- correlation (joint vs per-feature) -----------------------------------------
+
+
+def copula_biased_spec(rho: float = 0.8) -> GaussianMixtureSpec:
+    """Identical marginals, ±rho correlation per protected class."""
+    return GaussianMixtureSpec(
+        means={(u, s): [0.0, 0.0] for u in (0, 1) for s in (0, 1)},
+        p_u0=0.5, p_s0_given_u={0: 0.4, 1: 0.4},
+        covariances={(0, 0): [[1, rho], [rho, 1]],
+                     (1, 0): [[1, rho], [rho, 1]],
+                     (0, 1): [[1, -rho], [-rho, 1]],
+                     (1, 1): [[1, -rho], [-rho, 1]]})
+
+
+@dataclass(frozen=True)
+class CorrelationStudyResult:
+    """Sliced-W and correlation-gap per repair variant."""
+
+    sliced: dict
+    corr_gaps: dict
+
+    def render(self) -> str:
+        rows = [[name, f"{self.sliced[name]:.4g}",
+                 f"{self.corr_gaps[name]:.4g}"]
+                for name in self.sliced]
+        return format_table(
+            ["repair", "sliced W", "max corr gap"], rows,
+            title="Extension — copula-hidden unfairness "
+                  "(per-feature vs joint)")
+
+
+def run_correlation_study(*, n_total: int = 5000, n_research: int = 1500,
+                          rho: float = 0.8,
+                          seed: int = 2024) -> CorrelationStudyResult:
+    """Contrast per-feature and joint repairs on copula-only bias."""
+    split = copula_biased_spec(rho).sample(
+        n_total, rng=np.random.default_rng(seed)).split(
+        n_research=n_research, rng=seed)
+
+    per_feature = DistributionalRepairer(n_states=30, rng=seed)
+    pf_repaired = per_feature.fit(split.research).transform(split.archive)
+    joint = JointDistributionalRepairer(n_states=12, rng=seed)
+    jt_repaired = joint.fit(split.research).transform(split.archive)
+
+    sliced = {}
+    corr_gaps = {}
+    for name, ds in (("unrepaired", split.archive),
+                     ("per-feature", pf_repaired),
+                     ("joint", jt_repaired)):
+        sliced[name] = sliced_dependence(ds.features, ds.s, ds.u, rng=0,
+                                         n_directions=64)
+        corr_gaps[name] = max(correlation_gap(ds.features, ds.s,
+                                              ds.u).values())
+    return CorrelationStudyResult(sliced=sliced, corr_gaps=corr_gaps)
+
+
+# -- Monge vs Kantorovich --------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MongeStudyResult:
+    """Group-fairness E and clone spread per repair variant."""
+
+    energies: dict
+    clone_spreads: dict
+
+    def render(self) -> str:
+        rows = [[name, f"{self.energies[name]:.4g}",
+                 f"{self.clone_spreads[name]:.4g}"]
+                for name in self.energies]
+        return format_table(
+            ["repair", "E (archive)", "clone spread"], rows,
+            title="Extension — Kantorovich (stochastic) vs Monge "
+                  "(deterministic)")
+
+
+def run_monge_study(*, n_research: int = 500, n_archive: int = 5000,
+                    seed: int = 2024) -> MongeStudyResult:
+    """Compare Algorithm 2 with its Monge-map limit."""
+    split = paper_simulation_spec().sample(
+        n_research + n_archive,
+        rng=np.random.default_rng(seed)).split(n_research=n_research,
+                                               rng=seed)
+    monge = MongeRepairer().fit(split.research)
+    stochastic = DistributionalRepairer(n_states=50, rng=seed).fit(
+        split.research)
+
+    def clone_spread(transform) -> float:
+        probe = np.tile(split.archive.features[:1], (200, 1))
+        clones = FairnessDataset(
+            probe, np.full(200, int(split.archive.s[0])),
+            np.full(200, int(split.archive.u[0])))
+        return float(transform(clones).features.std(axis=0).mean())
+
+    energies = {}
+    spreads = {}
+    for name, transform in (
+            ("monge", monge.transform),
+            ("kantorovich",
+             lambda d: stochastic.transform(d, rng=seed + 1))):
+        repaired = transform(split.archive)
+        energies[name] = conditional_dependence_energy(
+            repaired.features, repaired.s, repaired.u).total
+        spreads[name] = clone_spread(transform)
+    return MongeStudyResult(energies=energies, clone_spreads=spreads)

@@ -1,0 +1,134 @@
+"""Figure 3 — repair quality versus research-set size ``n_R``.
+
+Sweeps the size of the research data set (the paper uses 25 to 750) at
+fixed ``n_A = 5000`` and ``n_Q = 50``, measuring the aggregate ``E`` of the
+repaired research and archival sets (plus the unrepaired composite as the
+reference line).  The paper's headline: ``E`` converges by
+``n_R ≈ 10 %`` of the archive size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.repair import DistributionalRepairer
+from ..data.simulated import paper_simulation_spec
+from ..metrics.fairness import conditional_dependence_energy
+from .montecarlo import run_monte_carlo
+from .reporting import banner, format_table
+
+__all__ = ["Fig3Config", "Fig3Result", "run_fig3", "main"]
+
+_DEFAULT_SIZES = (25, 50, 100, 200, 300, 500, 750)
+
+
+@dataclass(frozen=True)
+class Fig3Config:
+    """Operating conditions for the Figure 3 sweep."""
+
+    research_sizes: tuple = _DEFAULT_SIZES
+    n_archive: int = 5000
+    n_states: int = 50
+    n_repeats: int = 10
+    n_grid: int = 100
+    seed: int = 2024
+
+
+@dataclass(frozen=True)
+class Fig3Result:
+    """The figure's series: ``E`` vs ``n_R`` for each curve."""
+
+    research_sizes: np.ndarray
+    repaired_research: np.ndarray
+    repaired_research_std: np.ndarray
+    repaired_archive: np.ndarray
+    repaired_archive_std: np.ndarray
+    unrepaired: np.ndarray
+    unrepaired_std: np.ndarray
+    config: Fig3Config
+
+    def render(self) -> str:
+        rows = []
+        for i, size in enumerate(self.research_sizes):
+            rows.append([
+                f"{int(size)}",
+                f"{self.repaired_research[i]:.4g} "
+                f"± {self.repaired_research_std[i]:.3g}",
+                f"{self.repaired_archive[i]:.4g} "
+                f"± {self.repaired_archive_std[i]:.3g}",
+                f"{self.unrepaired[i]:.4g} ± {self.unrepaired_std[i]:.3g}",
+            ])
+        title = (f"Figure 3 — E vs nR (nA={self.config.n_archive}, "
+                 f"nQ={self.config.n_states}, "
+                 f"{self.config.n_repeats} repeats)")
+        return format_table(
+            ["nR", "E repaired research", "E repaired archive",
+             "E unrepaired composite"], rows, title=title)
+
+    def converged_by(self, *, rtol: float = 0.5) -> int:
+        """Smallest ``n_R`` whose repaired-archive ``E`` is within
+        ``(1 + rtol)`` of the final sweep value — the convergence point the
+        paper reads off the figure."""
+        final = self.repaired_archive[-1]
+        for size, value in zip(self.research_sizes, self.repaired_archive):
+            if value <= final * (1.0 + rtol):
+                return int(size)
+        return int(self.research_sizes[-1])
+
+
+def _one_trial(generator: np.random.Generator, n_research: int,
+               config: Fig3Config) -> np.ndarray:
+    spec = paper_simulation_spec()
+    composite = spec.sample(n_research + config.n_archive, rng=generator)
+    split = composite.split(n_research=n_research, rng=generator)
+
+    def total_energy(dataset) -> float:
+        return conditional_dependence_energy(
+            dataset.features, dataset.s, dataset.u,
+            n_grid=config.n_grid).total
+
+    repairer = DistributionalRepairer(n_states=config.n_states,
+                                      rng=generator)
+    repairer.fit(split.research)
+    repaired_research = total_energy(repairer.transform(split.research))
+    repaired_archive = total_energy(repairer.transform(split.archive))
+    unrepaired = total_energy(composite)
+    return np.array([repaired_research, repaired_archive, unrepaired])
+
+
+def run_fig3(config: Fig3Config | None = None) -> Fig3Result:
+    """Run the sweep and return the three series of Figure 3."""
+    config = config or Fig3Config()
+    means = []
+    stds = []
+    for n_research in config.research_sizes:
+        summary = run_monte_carlo(
+            lambda g: _one_trial(g, int(n_research), config),
+            config.n_repeats, rng=config.seed + int(n_research))
+        means.append(summary.mean)
+        stds.append(summary.std)
+    means = np.vstack(means)
+    stds = np.vstack(stds)
+    return Fig3Result(
+        research_sizes=np.asarray(config.research_sizes, dtype=int),
+        repaired_research=means[:, 0], repaired_research_std=stds[:, 0],
+        repaired_archive=means[:, 1], repaired_archive_std=stds[:, 1],
+        unrepaired=means[:, 2], unrepaired_std=stds[:, 2],
+        config=config,
+    )
+
+
+def main(n_repeats: int = 10, seed: int = 2024) -> Fig3Result:
+    """CLI-style entry point: run and print the Figure 3 series."""
+    result = run_fig3(Fig3Config(n_repeats=n_repeats, seed=seed))
+    print(banner("Experiment: Figure 3"))
+    print(result.render())
+    print(f"Repaired-archive E within 50% of final value by "
+          f"nR = {result.converged_by()}")
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

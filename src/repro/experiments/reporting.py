@@ -1,0 +1,50 @@
+"""ASCII reporting helpers for the experiment drivers.
+
+Every experiment driver prints the same rows/series the paper reports, via
+these small formatting utilities (no external tabulation library).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["format_table", "format_mean_std", "format_series", "banner"]
+
+
+def format_mean_std(mean: float, std: float | None = None, *,
+                    digits: int = 4) -> str:
+    """``mean ± std`` with aligned significant digits (std optional)."""
+    if std is None or not np.isfinite(std):
+        return f"{mean:.{digits}g}"
+    return f"{mean:.{digits}g} ± {std:.{digits}g}"
+
+
+def format_table(headers, rows, *, title: str | None = None) -> str:
+    """Render a list-of-lists as a fixed-width ASCII table."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row]
+                                           for row in rows]
+    widths = [max(len(row[i]) for row in cells)
+              for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    separator = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w)
+                            for h, w in zip(cells[0], widths)))
+    lines.append(separator)
+    for row in cells[1:]:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(xs, ys, *, x_name: str = "x", y_name: str = "y",
+                  title: str | None = None, digits: int = 4) -> str:
+    """Render a figure's (x, y) series as an aligned two-column listing."""
+    rows = [[f"{x:g}", f"{y:.{digits}g}"] for x, y in zip(xs, ys)]
+    return format_table([x_name, y_name], rows, title=title)
+
+
+def banner(text: str) -> str:
+    """A visually separated section header."""
+    rule = "=" * max(len(text), 8)
+    return f"{rule}\n{text}\n{rule}"

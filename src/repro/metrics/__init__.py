@@ -1,0 +1,36 @@
+"""Fairness metrics: divergences, the paper's ``E`` measure, proxies."""
+
+from .divergence import (DEFAULT_FLOOR, hellinger_distance, js_divergence,
+                         kl_divergence, symmetric_kl, total_variation)
+from .fairness import (EnergyReport, conditional_dependence_energy,
+                       feature_dependence, group_dependence)
+from .multivariate import correlation_gap, sliced_dependence
+from .proxies import (FOUR_FIFTHS, FairnessAssessment, assess_classifier,
+                      conditional_disparate_impact,
+                      conditional_statistical_parity, disparate_impact,
+                      disparate_treatment_gap, equal_opportunity_difference,
+                      statistical_parity_difference)
+
+__all__ = [
+    "DEFAULT_FLOOR",
+    "FOUR_FIFTHS",
+    "EnergyReport",
+    "FairnessAssessment",
+    "assess_classifier",
+    "conditional_dependence_energy",
+    "conditional_disparate_impact",
+    "conditional_statistical_parity",
+    "correlation_gap",
+    "disparate_impact",
+    "disparate_treatment_gap",
+    "equal_opportunity_difference",
+    "feature_dependence",
+    "group_dependence",
+    "hellinger_distance",
+    "js_divergence",
+    "kl_divergence",
+    "sliced_dependence",
+    "statistical_parity_difference",
+    "symmetric_kl",
+    "total_variation",
+]

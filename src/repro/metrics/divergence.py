@@ -1,0 +1,80 @@
+"""Divergences between probability mass functions.
+
+The paper's repair-quality measure is built from the symmetrised
+Kullback-Leibler divergence (Definition 2.4).  All functions here operate on
+discrete pmfs (typically KDE interpolations on a shared grid, Eq. 11) and
+guard the logarithms with a configurable probability floor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import as_probability_vector
+from ..exceptions import ValidationError
+
+__all__ = [
+    "kl_divergence",
+    "symmetric_kl",
+    "js_divergence",
+    "hellinger_distance",
+    "total_variation",
+]
+
+#: Default probability floor used to keep ``log(p/q)`` finite when a pmf has
+#: (numerically) empty states.  The floor is applied before renormalisation,
+#: so divergences remain finite yet can still become large when the two
+#: distributions barely overlap — exactly the behaviour the paper's
+#: unrepaired baselines exhibit.
+DEFAULT_FLOOR = 1e-12
+
+
+def _prepare(p, q, floor: float) -> tuple[np.ndarray, np.ndarray]:
+    ps = as_probability_vector(p, name="p", normalize=True)
+    qs = as_probability_vector(q, name="q", normalize=True)
+    if ps.size != qs.size:
+        raise ValidationError(
+            f"pmfs must share a support ({ps.size} != {qs.size} states)")
+    if floor <= 0.0 or floor >= 1.0:
+        raise ValidationError(f"floor must lie in (0, 1), got {floor}")
+    ps = np.maximum(ps, floor)
+    qs = np.maximum(qs, floor)
+    return ps / ps.sum(), qs / qs.sum()
+
+
+def kl_divergence(p, q, *, floor: float = DEFAULT_FLOOR) -> float:
+    """``D(p || q) = Σ_i p_i log(p_i / q_i)`` (natural log, >= 0)."""
+    ps, qs = _prepare(p, q, floor)
+    return float(np.sum(ps * (np.log(ps) - np.log(qs))))
+
+
+def symmetric_kl(p, q, *, floor: float = DEFAULT_FLOOR) -> float:
+    """Symmetrised KLD ``(D(p||q) + D(q||p)) / 2`` — paper Definition 2.4."""
+    ps, qs = _prepare(p, q, floor)
+    log_ratio = np.log(ps) - np.log(qs)
+    return float(0.5 * np.sum((ps - qs) * log_ratio))
+
+
+def js_divergence(p, q, *, floor: float = DEFAULT_FLOOR) -> float:
+    """Jensen-Shannon divergence (bounded by ``log 2``)."""
+    ps, qs = _prepare(p, q, floor)
+    mid = 0.5 * (ps + qs)
+    return float(0.5 * np.sum(ps * (np.log(ps) - np.log(mid)))
+                 + 0.5 * np.sum(qs * (np.log(qs) - np.log(mid))))
+
+
+def hellinger_distance(p, q, *, floor: float = DEFAULT_FLOOR) -> float:
+    """Hellinger distance ``sqrt(1 - Σ sqrt(p q))`` in ``[0, 1]``."""
+    ps, qs = _prepare(p, q, floor)
+    affinity = float(np.sum(np.sqrt(ps * qs)))
+    return float(np.sqrt(max(0.0, 1.0 - affinity)))
+
+
+def total_variation(p, q) -> float:
+    """Total-variation distance ``(1/2) Σ |p_i - q_i|`` in ``[0, 1]``."""
+    ps = as_probability_vector(p, name="p", normalize=True)
+    qs = as_probability_vector(q, name="q", normalize=True)
+    if ps.size != qs.size:
+        raise ValidationError(
+            f"pmfs must share a support ({ps.size} != {qs.size} states)")
+    return float(0.5 * np.sum(np.abs(ps - qs)))

@@ -1,0 +1,95 @@
+"""Multivariate conditional-dependence measures.
+
+The paper's ``E`` metric is stratified per feature, exactly like its
+repair — so neither can see dependence hiding in the *joint* structure
+(correlations, copulas) of the features.  Section VI flags this as an open
+question.  This module provides the measuring instruments:
+
+* :func:`sliced_dependence` — a ``Pr[u]``-weighted sliced-Wasserstein
+  distance between the ``s``-conditional joint samples; zero iff the
+  joints agree, sensitive to correlation differences the per-feature
+  ``E`` misses.
+* :func:`correlation_gap` — the max absolute difference of the
+  ``s``-conditional feature-correlation matrices, per ``u``; a blunt but
+  interpretable copula diagnostic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import as_2d_array
+from ..exceptions import ValidationError
+from ..ot.sliced import sliced_wasserstein
+
+__all__ = ["sliced_dependence", "correlation_gap"]
+
+
+def sliced_dependence(features, s_labels, u_labels, *, p: int = 2,
+                      n_directions: int = 64, rng=0) -> float:
+    """``Σ_u Pr[u] · SW_p(X|s=0,u , X|s=1,u)`` on the joint features.
+
+    The multivariate analogue of the paper's Eq. 3 with sliced
+    Wasserstein in place of the per-feature symmetrised KLD.  ``rng``
+    defaults to a fixed seed so the measure is deterministic.
+    """
+    x = as_2d_array(features, name="features")
+    s = np.asarray(s_labels).astype(int).ravel()
+    u = np.asarray(u_labels).astype(int).ravel()
+    if s.size != x.shape[0] or u.size != x.shape[0]:
+        raise ValidationError("features/labels length mismatch")
+    total = 0.0
+    for group in np.unique(u):
+        mask = u == group
+        xs0 = x[mask & (s == 0)]
+        xs1 = x[mask & (s == 1)]
+        if xs0.shape[0] == 0 or xs1.shape[0] == 0:
+            raise ValidationError(
+                f"group u={int(group)} lacks one protected class")
+        weight = float(np.mean(mask))
+        total += weight * sliced_wasserstein(
+            xs0, xs1, p=p, n_directions=n_directions, rng=rng)
+    return total
+
+
+def correlation_gap(features, s_labels, u_labels) -> dict:
+    """Per-``u`` max |corr(X | s=0, u) - corr(X | s=1, u)| entry.
+
+    Zero when the two protected classes share their feature-correlation
+    structure within every ``u`` group.  Per-feature repairs cannot reduce
+    this below the data's intrinsic value — the limitation bench uses it
+    as the smoking gun.
+    """
+    x = as_2d_array(features, name="features")
+    s = np.asarray(s_labels).astype(int).ravel()
+    u = np.asarray(u_labels).astype(int).ravel()
+    if s.size != x.shape[0] or u.size != x.shape[0]:
+        raise ValidationError("features/labels length mismatch")
+    if x.shape[1] < 2:
+        raise ValidationError(
+            "correlation_gap needs at least two features")
+    gaps = {}
+    for group in np.unique(u):
+        mask = u == group
+        xs0 = x[mask & (s == 0)]
+        xs1 = x[mask & (s == 1)]
+        if xs0.shape[0] < 3 or xs1.shape[0] < 3:
+            raise ValidationError(
+                f"group u={int(group)} needs >= 3 rows per class for a "
+                "correlation estimate")
+        corr0 = _safe_corr(xs0)
+        corr1 = _safe_corr(xs1)
+        gaps[int(group)] = float(np.max(np.abs(corr0 - corr1)))
+    return gaps
+
+
+def _safe_corr(block: np.ndarray) -> np.ndarray:
+    """Correlation matrix with zero-variance columns mapped to zero."""
+    stds = block.std(axis=0)
+    safe = stds > 1e-12
+    corr = np.zeros((block.shape[1], block.shape[1]))
+    if safe.sum() >= 2:
+        sub = np.corrcoef(block[:, safe], rowvar=False)
+        corr[np.ix_(safe, safe)] = np.atleast_2d(sub)
+    np.fill_diagonal(corr, 0.0)  # the diagonal carries no copula signal
+    return corr

@@ -1,0 +1,167 @@
+"""Classical fairness proxies, in marginal and ``u``-conditional form.
+
+The paper argues (Section II-B) that the common classifier-output proxies —
+disparate impact, statistical parity, disparate treatment — should be
+re-read conditionally on the unprotected attribute ``U`` so that structural
+unfairness (``S`` correlated with ``U``) is not confused with model
+unfairness (``X`` depending on ``S`` given ``U``).  This module provides
+both readings; the conditional variants follow Definitions 2.2/2.3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import ValidationError
+
+__all__ = [
+    "disparate_impact",
+    "conditional_disparate_impact",
+    "statistical_parity_difference",
+    "conditional_statistical_parity",
+    "disparate_treatment_gap",
+    "equal_opportunity_difference",
+    "FairnessAssessment",
+    "assess_classifier",
+]
+
+#: The EEOC "four-fifths" rule threshold below which a classifier is
+#: conventionally considered unfair (paper Definition 2.3 discussion).
+FOUR_FIFTHS = 0.8
+
+
+def _binary(values, name: str) -> np.ndarray:
+    arr = np.asarray(values).astype(int).ravel()
+    if arr.size == 0:
+        raise ValidationError(f"{name} must be non-empty")
+    if not np.all(np.isin(arr, (0, 1))):
+        raise ValidationError(f"{name} must be binary (0/1)")
+    return arr
+
+
+def _positive_rate(outcomes: np.ndarray, mask: np.ndarray) -> float:
+    if not mask.any():
+        return float("nan")
+    return float(np.mean(outcomes[mask]))
+
+
+def disparate_impact(outcomes, s_labels) -> float:
+    """``Pr[ŷ=1 | s=0] / Pr[ŷ=1 | s=1]`` (marginal DI).
+
+    Values near 1 are fair; below :data:`FOUR_FIFTHS` the EEOC rule flags
+    the decision process.  Returns ``inf`` when the denominator group never
+    receives a positive outcome but the numerator group does, and ``nan``
+    when a group is unrepresented.
+    """
+    y = _binary(outcomes, "outcomes")
+    s = _binary(s_labels, "s_labels")
+    if y.size != s.size:
+        raise ValidationError("outcomes/s_labels length mismatch")
+    rate0 = _positive_rate(y, s == 0)
+    rate1 = _positive_rate(y, s == 1)
+    if np.isnan(rate0) or np.isnan(rate1):
+        return float("nan")
+    if rate1 == 0.0:
+        return float("inf") if rate0 > 0.0 else 1.0
+    return rate0 / rate1
+
+
+def conditional_disparate_impact(outcomes, s_labels, u_labels) -> dict:
+    """Per-``u`` disparate impact ``DI(g, u)`` (paper Definition 2.3)."""
+    y = _binary(outcomes, "outcomes")
+    s = _binary(s_labels, "s_labels")
+    u = np.asarray(u_labels).astype(int).ravel()
+    if not (y.size == s.size == u.size):
+        raise ValidationError("outcomes/s_labels/u_labels length mismatch")
+    return {int(g): disparate_impact(y[u == g], s[u == g])
+            for g in np.unique(u)}
+
+
+def statistical_parity_difference(outcomes, s_labels) -> float:
+    """``Pr[ŷ=1 | s=0] - Pr[ŷ=1 | s=1]``; zero is parity."""
+    y = _binary(outcomes, "outcomes")
+    s = _binary(s_labels, "s_labels")
+    if y.size != s.size:
+        raise ValidationError("outcomes/s_labels length mismatch")
+    return _positive_rate(y, s == 0) - _positive_rate(y, s == 1)
+
+
+def conditional_statistical_parity(outcomes, s_labels, u_labels) -> dict:
+    """Per-``u`` statistical-parity differences."""
+    y = _binary(outcomes, "outcomes")
+    s = _binary(s_labels, "s_labels")
+    u = np.asarray(u_labels).astype(int).ravel()
+    if not (y.size == s.size == u.size):
+        raise ValidationError("outcomes/s_labels/u_labels length mismatch")
+    return {int(g): statistical_parity_difference(y[u == g], s[u == g])
+            for g in np.unique(u)}
+
+
+def disparate_treatment_gap(outcomes, s_labels, u_labels) -> float:
+    """Max deviation from ``Pr[ŷ|s,u] = Pr[ŷ|u]`` (Definition 2.2).
+
+    Zero iff the outcome distribution is identical across ``s`` within each
+    ``u`` group — the conditional notion of "treatment" fairness.
+    """
+    y = _binary(outcomes, "outcomes")
+    s = _binary(s_labels, "s_labels")
+    u = np.asarray(u_labels).astype(int).ravel()
+    if not (y.size == s.size == u.size):
+        raise ValidationError("outcomes/s_labels/u_labels length mismatch")
+    worst = 0.0
+    for g in np.unique(u):
+        in_group = u == g
+        base = _positive_rate(y, in_group)
+        for sv in (0, 1):
+            rate = _positive_rate(y, in_group & (s == sv))
+            if not np.isnan(rate):
+                worst = max(worst, abs(rate - base))
+    return worst
+
+
+def equal_opportunity_difference(outcomes, truths, s_labels) -> float:
+    """True-positive-rate gap ``TPR(s=0) - TPR(s=1)``."""
+    y = _binary(outcomes, "outcomes")
+    t = _binary(truths, "truths")
+    s = _binary(s_labels, "s_labels")
+    if not (y.size == t.size == s.size):
+        raise ValidationError("outcomes/truths/s_labels length mismatch")
+    positives = t == 1
+    tpr0 = _positive_rate(y, positives & (s == 0))
+    tpr1 = _positive_rate(y, positives & (s == 1))
+    return tpr0 - tpr1
+
+
+@dataclass(frozen=True)
+class FairnessAssessment:
+    """Summary of classical proxies for one classifier on one data set."""
+
+    disparate_impact: float
+    conditional_disparate_impact: dict
+    statistical_parity: float
+    conditional_statistical_parity: dict
+    disparate_treatment: float
+
+    @property
+    def passes_four_fifths(self) -> bool:
+        """EEOC four-fifths rule on the marginal DI (both directions)."""
+        di = self.disparate_impact
+        if np.isnan(di) or np.isinf(di) or di <= 0.0:
+            return False
+        return min(di, 1.0 / di) >= FOUR_FIFTHS
+
+
+def assess_classifier(outcomes, s_labels, u_labels) -> FairnessAssessment:
+    """Compute every proxy at once for reporting convenience."""
+    return FairnessAssessment(
+        disparate_impact=disparate_impact(outcomes, s_labels),
+        conditional_disparate_impact=conditional_disparate_impact(
+            outcomes, s_labels, u_labels),
+        statistical_parity=statistical_parity_difference(outcomes, s_labels),
+        conditional_statistical_parity=conditional_statistical_parity(
+            outcomes, s_labels, u_labels),
+        disparate_treatment=disparate_treatment_gap(
+            outcomes, s_labels, u_labels),
+    )

@@ -1,0 +1,60 @@
+"""Optimal-transport substrate.
+
+Everything the repair algorithms need from OT, implemented from scratch:
+
+* :mod:`~repro.ot.cost` — ground-cost matrices (``L_p^p`` family).
+* :mod:`~repro.ot.coupling` — :class:`TransportPlan` container.
+* :mod:`~repro.ot.onedim` — closed-form 1-D OT (monotone couplings).
+* :mod:`~repro.ot.network_simplex` — exact general solver.
+* :mod:`~repro.ot.lp` — scipy ``linprog`` oracle.
+* :mod:`~repro.ot.sinkhorn` — entropic OT.
+* :mod:`~repro.ot.barycenter` — W2 barycentres / geodesics.
+* :mod:`~repro.ot.wasserstein` — ``W_p`` distances.
+"""
+
+from .barycenter import (barycenter_1d, geodesic_point_1d, project_onto_grid,
+                         sinkhorn_barycenter)
+from .cost import (cost_matrix, euclidean_cost, lp_cost, make_cost_function,
+                   squared_euclidean_cost)
+from .coupling import TransportPlan, is_coupling, marginal_residual
+from .lp import solve_transport_lp, transport_lp
+from .network_simplex import solve_transport, transport_simplex
+from .onedim import (monotone_map, north_west_corner, quantile_function,
+                     solve_1d, wasserstein_1d)
+from .sinkhorn import SinkhornResult, sinkhorn, sinkhorn_log, solve_sinkhorn
+from .sliced import random_directions, sliced_wasserstein
+from .unbalanced import sinkhorn_unbalanced
+from .wasserstein import wasserstein_distance, wasserstein_sample_distance
+
+__all__ = [
+    "TransportPlan",
+    "SinkhornResult",
+    "barycenter_1d",
+    "cost_matrix",
+    "euclidean_cost",
+    "geodesic_point_1d",
+    "is_coupling",
+    "lp_cost",
+    "make_cost_function",
+    "marginal_residual",
+    "monotone_map",
+    "north_west_corner",
+    "project_onto_grid",
+    "quantile_function",
+    "random_directions",
+    "sinkhorn",
+    "sinkhorn_barycenter",
+    "sinkhorn_log",
+    "sinkhorn_unbalanced",
+    "sliced_wasserstein",
+    "solve_1d",
+    "solve_sinkhorn",
+    "solve_transport",
+    "solve_transport_lp",
+    "squared_euclidean_cost",
+    "transport_lp",
+    "transport_simplex",
+    "wasserstein_1d",
+    "wasserstein_distance",
+    "wasserstein_sample_distance",
+]

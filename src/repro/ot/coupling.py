@@ -1,0 +1,167 @@
+"""Transport-plan container with marginal verification.
+
+A Kantorovich optimal transport plan is a joint distribution ``π`` over the
+product of two discrete supports whose marginals equal the prescribed source
+and target distributions (paper Eq. 5).  :class:`TransportPlan` wraps the
+matrix together with its supports, checks the coupling constraints, and
+offers the operations the repair algorithms need: conditional rows
+(Eq. 15), barycentric projection (Eqs. 8-9), and transport cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .._validation import as_1d_array, as_probability_vector
+from ..exceptions import ValidationError
+
+__all__ = ["TransportPlan", "marginal_residual", "is_coupling"]
+
+
+def marginal_residual(matrix: np.ndarray, source_weights: np.ndarray,
+                      target_weights: np.ndarray) -> float:
+    """Max-norm violation of the coupling constraints of ``matrix``."""
+    row_err = np.abs(matrix.sum(axis=1) - source_weights).max()
+    col_err = np.abs(matrix.sum(axis=0) - target_weights).max()
+    return float(max(row_err, col_err))
+
+
+def is_coupling(matrix: np.ndarray, source_weights: np.ndarray,
+                target_weights: np.ndarray, *, atol: float = 1e-6) -> bool:
+    """True when ``matrix`` couples the two weight vectors within ``atol``."""
+    if np.any(matrix < -atol):
+        return False
+    return marginal_residual(matrix, source_weights, target_weights) <= atol
+
+
+@dataclass(frozen=True)
+class TransportPlan:
+    """An optimal (or candidate) transport plan between discrete measures.
+
+    Attributes
+    ----------
+    matrix:
+        ``(n, m)`` joint probability matrix ``π``.
+    source_support, target_support:
+        Support points of the two marginals, shape ``(n, d)`` / ``(m, d)``;
+        1-D supports are stored as ``(n, 1)``.
+    cost:
+        Expected transport cost ``<C, π>`` when the plan was produced by a
+        solver, else ``nan``.
+    """
+
+    matrix: np.ndarray
+    source_support: np.ndarray
+    target_support: np.ndarray
+    cost: float = float("nan")
+    _atol: float = field(default=1e-6, repr=False)
+
+    def __post_init__(self) -> None:
+        matrix = np.asarray(self.matrix, dtype=float)
+        if matrix.ndim != 2:
+            raise ValidationError(
+                f"plan matrix must be 2-D, got shape {matrix.shape}")
+        if np.any(matrix < -self._atol):
+            raise ValidationError("plan matrix must be non-negative")
+        source = _as_support(self.source_support, matrix.shape[0], "source")
+        target = _as_support(self.target_support, matrix.shape[1], "target")
+        object.__setattr__(self, "matrix", np.clip(matrix, 0.0, None))
+        object.__setattr__(self, "source_support", source)
+        object.__setattr__(self, "target_support", target)
+
+    # -- marginals ---------------------------------------------------------
+
+    @property
+    def source_weights(self) -> np.ndarray:
+        """Row sums: the source marginal ``µ``."""
+        return self.matrix.sum(axis=1)
+
+    @property
+    def target_weights(self) -> np.ndarray:
+        """Column sums: the target marginal ``ν``."""
+        return self.matrix.sum(axis=0)
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self.matrix.shape
+
+    def verify(self, source_weights, target_weights, *,
+               atol: float = 1e-6) -> None:
+        """Raise unless this plan couples the given marginals."""
+        mu = as_probability_vector(source_weights, name="source_weights",
+                                   normalize=True)
+        nu = as_probability_vector(target_weights, name="target_weights",
+                                   normalize=True)
+        if self.matrix.shape != (mu.size, nu.size):
+            raise ValidationError(
+                f"plan shape {self.matrix.shape} incompatible with marginals "
+                f"({mu.size}, {nu.size})")
+        residual = marginal_residual(self.matrix, mu, nu)
+        if residual > atol:
+            raise ValidationError(
+                f"coupling constraints violated (residual {residual:.3e} "
+                f"> atol {atol:.1e})")
+
+    # -- operations used by the repair algorithms --------------------------
+
+    def conditional_row(self, index: int) -> np.ndarray:
+        """Normalised row ``π[index, :] / Σ_j π[index, j]`` (paper Eq. 15).
+
+        Rows with (numerically) zero mass fall back to a point mass on the
+        nearest-cost column, which keeps Algorithm 2 total: every archival
+        point gets a valid conditional distribution.
+        """
+        row = self.matrix[index]
+        total = row.sum()
+        if total <= 1e-300:
+            fallback = np.zeros_like(row)
+            distances = np.linalg.norm(
+                self.target_support - self.source_support[index], axis=1)
+            fallback[int(np.argmin(distances))] = 1.0
+            return fallback
+        return row / total
+
+    def conditional_matrix(self) -> np.ndarray:
+        """All conditional rows stacked; rows sum to one."""
+        return np.vstack([self.conditional_row(i)
+                          for i in range(self.matrix.shape[0])])
+
+    def barycentric_projection(self) -> np.ndarray:
+        """Conditional-mean map ``T(x_i) = E_π[Y | X = x_i]``.
+
+        This is the deterministic "barycentric" image used by geometric
+        repair variants; rows with zero mass map to their nearest target.
+        """
+        conditionals = self.conditional_matrix()
+        return conditionals @ self.target_support
+
+    def expected_cost(self, cost_matrix: np.ndarray) -> float:
+        """Expected transport cost ``<C, π>`` under an explicit cost."""
+        cost = np.asarray(cost_matrix, dtype=float)
+        if cost.shape != self.matrix.shape:
+            raise ValidationError(
+                f"cost shape {cost.shape} != plan shape {self.matrix.shape}")
+        return float(np.sum(cost * self.matrix))
+
+    def transpose(self) -> "TransportPlan":
+        """The reverse plan (target -> source)."""
+        return TransportPlan(self.matrix.T, self.target_support,
+                             self.source_support, self.cost)
+
+
+def _as_support(support, expected_len: int, name: str) -> np.ndarray:
+    arr = np.asarray(support, dtype=float)
+    if arr.ndim == 1:
+        arr = arr.reshape(-1, 1)
+    if arr.ndim != 2:
+        raise ValidationError(
+            f"{name} support must be 1-D or 2-D, got shape {arr.shape}")
+    if arr.shape[0] != expected_len:
+        raise ValidationError(
+            f"{name} support has {arr.shape[0]} points, plan expects "
+            f"{expected_len}")
+    if not np.all(np.isfinite(arr)):
+        raise ValidationError(f"{name} support contains non-finite entries")
+    return arr

@@ -1,0 +1,70 @@
+"""Reference LP formulation of discrete optimal transport.
+
+Flattens the Kantorovich problem into a standard-form linear programme and
+solves it with scipy's HiGHS backend.  This solver is slower than the
+dedicated :mod:`repro.ot.network_simplex` implementation but serves as the
+independent *oracle* against which the hand-written solvers are validated in
+the test-suite, and as a fallback for ill-conditioned instances.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse
+from scipy.optimize import linprog
+
+from .._validation import as_probability_vector
+from ..exceptions import ConvergenceError, ValidationError
+from .coupling import TransportPlan
+
+__all__ = ["solve_transport_lp", "transport_lp"]
+
+
+def transport_lp(cost: np.ndarray, source_weights, target_weights) -> np.ndarray:
+    """Optimal plan matrix via ``scipy.optimize.linprog`` (HiGHS).
+
+    The balanced problem has one redundant equality constraint; we drop the
+    final column constraint to keep the system full-rank, which HiGHS
+    appreciates.
+    """
+    cost = np.asarray(cost, dtype=float)
+    if cost.ndim != 2:
+        raise ValidationError(f"cost must be 2-D, got shape {cost.shape}")
+    mu = as_probability_vector(source_weights, name="source_weights",
+                               normalize=True)
+    nu = as_probability_vector(target_weights, name="target_weights",
+                               normalize=True)
+    n, m = cost.shape
+    if mu.size != n or nu.size != m:
+        raise ValidationError(
+            f"cost shape {cost.shape} incompatible with marginals "
+            f"({mu.size}, {nu.size})")
+
+    # Row-marginal constraints: each row of the plan sums to mu_i.
+    row_blocks = sparse.kron(sparse.eye(n), np.ones((1, m)), format="csr")
+    # Column-marginal constraints (last one dropped as redundant).
+    col_blocks = sparse.kron(np.ones((1, n)), sparse.eye(m), format="csr")[:-1]
+    a_eq = sparse.vstack([row_blocks, col_blocks], format="csr")
+    b_eq = np.concatenate([mu, nu[:-1]])
+
+    result = linprog(cost.ravel(), A_eq=a_eq, b_eq=b_eq,
+                     bounds=(0.0, None), method="highs")
+    if not result.success:
+        raise ConvergenceError(
+            f"linprog failed to solve the transport LP: {result.message}")
+    plan = result.x.reshape(n, m)
+    return np.clip(plan, 0.0, None)
+
+
+def solve_transport_lp(cost: np.ndarray, source_weights, target_weights,
+                       source_support=None,
+                       target_support=None) -> TransportPlan:
+    """Like :func:`transport_lp` but wrapped in a :class:`TransportPlan`."""
+    matrix = transport_lp(cost, source_weights, target_weights)
+    n, m = matrix.shape
+    if source_support is None:
+        source_support = np.arange(n, dtype=float)
+    if target_support is None:
+        target_support = np.arange(m, dtype=float)
+    value = float(np.sum(np.asarray(cost, dtype=float) * matrix))
+    return TransportPlan(matrix, source_support, target_support, value)

@@ -1,0 +1,283 @@
+"""Exact discrete optimal transport via the transportation simplex.
+
+Solves the balanced Kantorovich linear programme
+
+    min_π  <C, π>   s.t.  π 1 = µ,  πᵀ 1 = ν,  π >= 0
+
+with the classical primal transportation simplex (MODI / u-v method):
+
+1. build an initial basic feasible solution with the north-west-corner rule,
+2. compute node potentials from the spanning-tree basis,
+3. price out non-basic cells via reduced costs, pivot along the unique
+   tree cycle, and repeat until no negative reduced cost remains.
+
+This is the ``O(n_Q^3 log n_Q)``-class exact solver the paper cites for
+unregularised OT.  It is implemented from first principles (no external OT
+library) and cross-checked in the test-suite against a ``scipy.linprog``
+oracle (:mod:`repro.ot.lp`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import as_probability_vector
+from ..exceptions import ConvergenceError, InfeasibleProblemError, ValidationError
+from .coupling import TransportPlan
+
+__all__ = ["solve_transport", "transport_simplex"]
+
+_MASS_TOL = 1e-13
+
+
+def transport_simplex(cost: np.ndarray, source_weights, target_weights, *,
+                      max_iter: int | None = None,
+                      tol: float = 1e-10) -> np.ndarray:
+    """Return the optimal plan matrix for the balanced transport LP.
+
+    Parameters
+    ----------
+    cost:
+        ``(n, m)`` ground-cost matrix.
+    source_weights, target_weights:
+        Marginals; normalised to probability vectors (the LP is invariant to
+        common rescaling).
+    max_iter:
+        Pivot budget; defaults to ``50 * (n + m)`` which is generous for the
+        problem sizes this library produces.
+    """
+    cost = np.asarray(cost, dtype=float)
+    if cost.ndim != 2:
+        raise ValidationError(f"cost must be 2-D, got shape {cost.shape}")
+    mu = as_probability_vector(source_weights, name="source_weights",
+                               normalize=True)
+    nu = as_probability_vector(target_weights, name="target_weights",
+                               normalize=True)
+    n, m = cost.shape
+    if mu.size != n or nu.size != m:
+        raise InfeasibleProblemError(
+            f"cost shape {cost.shape} incompatible with marginal sizes "
+            f"({mu.size}, {nu.size})")
+    if max_iter is None:
+        max_iter = 50 * (n + m)
+
+    plan, basis = _north_west_start(mu, nu)
+    _complete_degenerate_basis(basis, n, m)
+
+    for _ in range(max_iter):
+        potentials_u, potentials_v = _solve_potentials(cost, basis, n, m)
+        reduced = cost - potentials_u[:, None] - potentials_v[None, :]
+        # Basic cells have zero reduced cost by construction; mask them so
+        # numerical noise cannot re-select them.
+        for (bi, bj) in basis:
+            reduced[bi, bj] = 0.0
+        enter = np.unravel_index(np.argmin(reduced), reduced.shape)
+        if reduced[enter] >= -tol:
+            return plan
+        _pivot(plan, basis, enter, n, m)
+    raise ConvergenceError(
+        "transportation simplex exceeded its pivot budget",
+        iterations=max_iter)
+
+
+def solve_transport(cost: np.ndarray, source_weights, target_weights,
+                    source_support=None, target_support=None, *,
+                    max_iter: int | None = None,
+                    tol: float = 1e-10) -> TransportPlan:
+    """Like :func:`transport_simplex` but returns a :class:`TransportPlan`.
+
+    When supports are omitted, integer index supports are attached so the
+    plan object remains fully usable (conditional rows, projections).
+    """
+    matrix = transport_simplex(cost, source_weights, target_weights,
+                               max_iter=max_iter, tol=tol)
+    n, m = matrix.shape
+    if source_support is None:
+        source_support = np.arange(n, dtype=float)
+    if target_support is None:
+        target_support = np.arange(m, dtype=float)
+    value = float(np.sum(np.asarray(cost, dtype=float) * matrix))
+    return TransportPlan(matrix, source_support, target_support, value)
+
+
+# -- internals --------------------------------------------------------------
+
+
+def _north_west_start(mu: np.ndarray,
+                      nu: np.ndarray) -> tuple[np.ndarray, set]:
+    """North-west-corner initial BFS plus the set of basic cells."""
+    n, m = mu.size, nu.size
+    plan = np.zeros((n, m))
+    basis: set[tuple[int, int]] = set()
+    remaining_mu = mu.copy()
+    remaining_nu = nu.copy()
+    i = j = 0
+    while i < n and j < m:
+        mass = min(remaining_mu[i], remaining_nu[j])
+        plan[i, j] = mass
+        basis.add((i, j))
+        remaining_mu[i] -= mass
+        remaining_nu[j] -= mass
+        row_done = remaining_mu[i] <= _MASS_TOL
+        col_done = remaining_nu[j] <= _MASS_TOL
+        if row_done and col_done:
+            # Degenerate step: keep the basis a tree by moving along exactly
+            # one axis; the next cell enters with zero mass.
+            if i + 1 < n:
+                i += 1
+            else:
+                j += 1
+        elif row_done:
+            i += 1
+        else:
+            j += 1
+    return plan, basis
+
+
+def _complete_degenerate_basis(basis: set, n: int, m: int) -> None:
+    """Ensure the basis has exactly ``n + m - 1`` cells and spans all nodes.
+
+    The NW-corner construction above already yields a spanning tree, but we
+    defensively patch any missing coverage with zero cells (can occur for
+    marginals containing exact zeros).
+    """
+    target_size = n + m - 1
+    if len(basis) == target_size:
+        return
+    rows_seen = {i for i, _ in basis}
+    cols_seen = {j for _, j in basis}
+    for i in range(n):
+        if len(basis) >= target_size:
+            break
+        if i not in rows_seen:
+            basis.add((i, next(iter(cols_seen)) if cols_seen else 0))
+            rows_seen.add(i)
+    for j in range(m):
+        if len(basis) >= target_size:
+            break
+        if j not in cols_seen:
+            basis.add((next(iter(rows_seen)) if rows_seen else 0, j))
+            cols_seen.add(j)
+    # Top up with arbitrary non-basic cells that do not close a cycle.
+    i = 0
+    while len(basis) < target_size:
+        for j in range(m):
+            if (i, j) not in basis and not _would_close_cycle(basis, (i, j), n, m):
+                basis.add((i, j))
+                break
+        i = (i + 1) % n
+
+
+def _would_close_cycle(basis: set, cell: tuple[int, int], n: int,
+                       m: int) -> bool:
+    """True if adding ``cell`` connects two already-connected components."""
+    adjacency = _adjacency(basis, n, m)
+    start, goal = ("r", cell[0]), ("c", cell[1])
+    return _path_exists(adjacency, start, goal)
+
+
+def _adjacency(basis: set, n: int, m: int) -> dict:
+    adjacency: dict = {("r", i): [] for i in range(n)}
+    adjacency.update({("c", j): [] for j in range(m)})
+    for (i, j) in basis:
+        adjacency[("r", i)].append(("c", j))
+        adjacency[("c", j)].append(("r", i))
+    return adjacency
+
+
+def _path_exists(adjacency: dict, start, goal) -> bool:
+    seen = {start}
+    stack = [start]
+    while stack:
+        node = stack.pop()
+        if node == goal:
+            return True
+        for neighbour in adjacency[node]:
+            if neighbour not in seen:
+                seen.add(neighbour)
+                stack.append(neighbour)
+    return False
+
+
+def _solve_potentials(cost: np.ndarray, basis: set, n: int,
+                      m: int) -> tuple[np.ndarray, np.ndarray]:
+    """Node potentials ``u, v`` with ``u_i + v_j = C_ij`` on basic cells.
+
+    The basis is a spanning tree, so fixing ``u_0 = 0`` and propagating by
+    breadth-first search determines every potential uniquely.
+    """
+    potentials_u = np.full(n, np.nan)
+    potentials_v = np.full(m, np.nan)
+    adjacency = _adjacency(basis, n, m)
+    potentials_u[0] = 0.0
+    stack = [("r", 0)]
+    while stack:
+        kind, index = stack.pop()
+        for (nkind, nindex) in adjacency[(kind, index)]:
+            if nkind == "c" and np.isnan(potentials_v[nindex]):
+                potentials_v[nindex] = cost[index, nindex] - potentials_u[index]
+                stack.append(("c", nindex))
+            elif nkind == "r" and np.isnan(potentials_u[nindex]):
+                potentials_u[nindex] = cost[nindex, index] - potentials_v[index]
+                stack.append(("r", nindex))
+    # Disconnected components (possible only with a patched degenerate
+    # basis) get zero potentials; their cells price out on the next pivot.
+    np.nan_to_num(potentials_u, copy=False)
+    np.nan_to_num(potentials_v, copy=False)
+    return potentials_u, potentials_v
+
+
+def _find_cycle(basis: set, enter: tuple[int, int], n: int,
+                m: int) -> list[tuple[int, int]]:
+    """Alternating cycle created by the entering cell in the basis tree.
+
+    Returns the cycle as a list of cells starting with ``enter``; even
+    positions gain mass, odd positions lose mass.
+    """
+    adjacency = _adjacency(basis, n, m)
+    start, goal = ("c", enter[1]), ("r", enter[0])
+    # Depth-first search for the unique tree path goal -> start.
+    parents = {start: None}
+    stack = [start]
+    while stack:
+        node = stack.pop()
+        if node == goal:
+            break
+        for neighbour in adjacency[node]:
+            if neighbour not in parents:
+                parents[neighbour] = node
+                stack.append(neighbour)
+    if goal not in parents:
+        raise ConvergenceError("basis lost connectivity during pivoting")
+
+    path_nodes = [goal]
+    while parents[path_nodes[-1]] is not None:
+        path_nodes.append(parents[path_nodes[-1]])
+    # path_nodes: row(enter) -> ... -> col(enter); consecutive nodes are the
+    # basic cells of the cycle.
+    cycle = [enter]
+    for a, b in zip(path_nodes, path_nodes[1:]):
+        if a[0] == "r":
+            cycle.append((a[1], b[1]))
+        else:
+            cycle.append((b[1], a[1]))
+    return cycle
+
+
+def _pivot(plan: np.ndarray, basis: set, enter: tuple[int, int], n: int,
+           m: int) -> None:
+    """Execute one simplex pivot along the cycle of ``enter``."""
+    cycle = _find_cycle(basis, enter, n, m)
+    minus_cells = cycle[1::2]
+    theta = min(plan[c] for c in minus_cells)
+    leave = min((c for c in minus_cells if plan[c] <= theta + _MASS_TOL),
+                key=lambda c: plan[c])
+    for position, cell in enumerate(cycle):
+        if position % 2 == 0:
+            plan[cell] += theta
+        else:
+            plan[cell] -= theta
+            if plan[cell] < 0.0:
+                plan[cell] = 0.0
+    basis.add(enter)
+    basis.discard(leave)

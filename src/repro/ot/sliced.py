@@ -1,0 +1,77 @@
+"""Sliced Wasserstein distance.
+
+The paper stratifies its repair per feature to dodge the curse of
+dimensionality in OT (Section IV-A), at the acknowledged cost of ignoring
+intra-feature correlation (Section VI).  The *sliced* Wasserstein distance
+is the standard cheap multivariate OT surrogate: average the closed-form
+1-D distance over random projection directions,
+
+    SW_p(µ, ν)^p = E_{θ ~ U(S^{d-1})} [ W_p(θ#µ, θ#ν)^p ].
+
+It lets the library *measure* the multivariate discrepancy that the
+per-feature machinery cannot see — used by
+:func:`repro.metrics.multivariate.sliced_dependence` and the correlation
+ablation bench.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import as_2d_array, as_rng, check_positive_int
+from ..exceptions import ValidationError
+from .onedim import wasserstein_1d
+
+__all__ = ["sliced_wasserstein", "random_directions"]
+
+
+def random_directions(n_directions: int, dim: int, *,
+                      rng=None) -> np.ndarray:
+    """``(n_directions, dim)`` unit vectors uniform on the sphere."""
+    n_directions = check_positive_int(n_directions, name="n_directions")
+    dim = check_positive_int(dim, name="dim")
+    generator = as_rng(rng)
+    raw = generator.normal(size=(n_directions, dim))
+    norms = np.linalg.norm(raw, axis=1, keepdims=True)
+    # Resample the (probability-zero) degenerate rows.
+    bad = norms[:, 0] < 1e-12
+    while bad.any():
+        raw[bad] = generator.normal(size=(int(bad.sum()), dim))
+        norms = np.linalg.norm(raw, axis=1, keepdims=True)
+        bad = norms[:, 0] < 1e-12
+    return raw / norms
+
+
+def sliced_wasserstein(source_samples, target_samples, *, p: int = 2,
+                       n_directions: int = 64, rng=None) -> float:
+    """Monte-Carlo sliced ``W_p`` between two empirical samples.
+
+    Parameters
+    ----------
+    source_samples, target_samples:
+        ``(n, d)`` / ``(m, d)`` sample matrices (uniform weights).
+    n_directions:
+        Number of random projections; the estimator error decays as
+        ``1/sqrt(n_directions)``.
+    rng:
+        Seed/generator for the projections — fix it to make the distance
+        deterministic.
+    """
+    xs = as_2d_array(source_samples, name="source_samples")
+    ys = as_2d_array(target_samples, name="target_samples")
+    if xs.shape[1] != ys.shape[1]:
+        raise ValidationError(
+            "samples must share the feature dimension "
+            f"({xs.shape[1]} != {ys.shape[1]})")
+    p = check_positive_int(p, name="p")
+    directions = random_directions(n_directions, xs.shape[1], rng=rng)
+
+    mu = np.full(xs.shape[0], 1.0 / xs.shape[0])
+    nu = np.full(ys.shape[0], 1.0 / ys.shape[0])
+    projected_x = xs @ directions.T
+    projected_y = ys @ directions.T
+    total = 0.0
+    for j in range(directions.shape[0]):
+        total += wasserstein_1d(projected_x[:, j], mu,
+                                projected_y[:, j], nu, p=p) ** p
+    return float((total / directions.shape[0]) ** (1.0 / p))

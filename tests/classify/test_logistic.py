@@ -1,0 +1,98 @@
+"""Tests for logistic regression."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.classify.logistic import LogisticRegression
+from repro.exceptions import NotFittedError, ValidationError
+
+
+@pytest.fixture
+def separable_problem(rng):
+    n = 600
+    x = rng.normal(size=(n, 2))
+    logits = 2.0 * x[:, 0] - 1.5 * x[:, 1] + 0.3
+    y = (rng.random(n) < 1.0 / (1.0 + np.exp(-logits))).astype(int)
+    return x, y
+
+
+class TestFit:
+    def test_accuracy_on_generating_model(self, separable_problem):
+        x, y = separable_problem
+        model = LogisticRegression().fit(x, y)
+        assert model.accuracy(x, y) > 0.8
+
+    def test_recovers_bayes_rule_direction(self, separable_problem):
+        x, y = separable_problem
+        model = LogisticRegression(l2=1e-6).fit(x, y)
+        weights = model.coef_
+        # Standardised coefficients: positive on x0, negative on x1.
+        assert weights[1] > 0.0 > weights[2]
+
+    def test_perfectly_separable_does_not_blow_up(self, rng):
+        x = np.vstack([rng.normal(-5.0, 0.3, size=(50, 1)),
+                       rng.normal(5.0, 0.3, size=(50, 1))])
+        y = np.concatenate([np.zeros(50, dtype=int),
+                            np.ones(50, dtype=int)])
+        model = LogisticRegression(l2=1e-3).fit(x, y)
+        assert np.all(np.isfinite(model.coef_))
+        assert model.accuracy(x, y) == pytest.approx(1.0)
+
+    def test_constant_feature_handled(self, rng):
+        x = np.column_stack([np.ones(100), rng.normal(size=100)])
+        y = (x[:, 1] > 0).astype(int)
+        model = LogisticRegression().fit(x, y)
+        assert model.accuracy(x, y) > 0.9
+
+    def test_nonbinary_targets_rejected(self, rng):
+        with pytest.raises(ValidationError, match="binary"):
+            LogisticRegression().fit(rng.normal(size=(4, 1)), [0, 1, 2, 1])
+
+    def test_length_mismatch_rejected(self, rng):
+        with pytest.raises(ValidationError, match="mismatch"):
+            LogisticRegression().fit(rng.normal(size=(4, 1)), [0, 1])
+
+    def test_negative_l2_rejected(self):
+        with pytest.raises(ValidationError, match="l2"):
+            LogisticRegression(l2=-1.0)
+
+
+class TestPredict:
+    def test_not_fitted_raises(self, rng):
+        with pytest.raises(NotFittedError):
+            LogisticRegression().predict(rng.normal(size=(2, 2)))
+
+    def test_proba_bounds(self, separable_problem):
+        x, y = separable_problem
+        model = LogisticRegression().fit(x, y)
+        proba = model.predict_proba(x)
+        assert np.all((proba > 0.0) & (proba < 1.0))
+
+    def test_threshold_shifts_positives(self, separable_problem):
+        x, y = separable_problem
+        model = LogisticRegression().fit(x, y)
+        lenient = model.predict(x, threshold=0.1).mean()
+        strict = model.predict(x, threshold=0.9).mean()
+        assert lenient > strict
+
+    def test_calibration_roughly_correct(self, separable_problem):
+        x, y = separable_problem
+        model = LogisticRegression().fit(x, y)
+        proba = model.predict_proba(x)
+        bucket = (proba > 0.4) & (proba < 0.6)
+        if bucket.sum() > 30:
+            assert y[bucket].mean() == pytest.approx(0.5, abs=0.2)
+
+    def test_arity_change_rejected(self, separable_problem):
+        x, y = separable_problem
+        model = LogisticRegression().fit(x, y)
+        with pytest.raises(ValidationError, match="arity"):
+            model.predict(np.zeros((2, 5)))
+
+    def test_no_intercept_variant(self, separable_problem):
+        x, y = separable_problem
+        model = LogisticRegression(fit_intercept=False).fit(x, y)
+        assert model.coef_.size == 2
+        assert model.accuracy(x, y) > 0.75

@@ -1,0 +1,75 @@
+"""Tests for Gaussian naive Bayes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.classify.naive_bayes import GaussianNaiveBayes
+from repro.exceptions import NotFittedError, ValidationError
+
+
+@pytest.fixture
+def gaussian_problem(rng):
+    n = 400
+    y = rng.integers(0, 2, size=n)
+    x = rng.normal(size=(n, 2)) + 2.5 * y[:, None]
+    return x, y
+
+
+class TestFit:
+    def test_high_accuracy_on_separated_classes(self, gaussian_problem):
+        x, y = gaussian_problem
+        model = GaussianNaiveBayes().fit(x, y)
+        assert model.accuracy(x, y) > 0.9
+
+    def test_missing_class_rejected(self, rng):
+        with pytest.raises(ValidationError, match="absent"):
+            GaussianNaiveBayes().fit(rng.normal(size=(5, 1)),
+                                     np.zeros(5, dtype=int))
+
+    def test_nonbinary_rejected(self, rng):
+        with pytest.raises(ValidationError, match="binary"):
+            GaussianNaiveBayes().fit(rng.normal(size=(3, 1)), [0, 1, 2])
+
+    def test_zero_variance_feature_floored(self):
+        x = np.array([[0.0, 1.0], [0.0, 2.0], [1.0, 3.0], [1.0, 4.0]])
+        y = np.array([0, 0, 1, 1])
+        model = GaussianNaiveBayes().fit(x, y)
+        assert np.isfinite(model.predict_proba(x)).all()
+
+
+class TestPredict:
+    def test_not_fitted_raises(self, rng):
+        with pytest.raises(NotFittedError):
+            GaussianNaiveBayes().predict(rng.normal(size=(2, 2)))
+
+    def test_proba_sums_complementary(self, gaussian_problem):
+        x, y = gaussian_problem
+        model = GaussianNaiveBayes().fit(x, y)
+        proba = model.predict_proba(x)
+        assert np.all((proba >= 0.0) & (proba <= 1.0))
+
+    def test_predict_matches_argmax_proba(self, gaussian_problem):
+        x, y = gaussian_problem
+        model = GaussianNaiveBayes().fit(x, y)
+        labels = model.predict(x)
+        proba = model.predict_proba(x)
+        np.testing.assert_array_equal(labels, (proba >= 0.5).astype(int))
+
+    def test_prior_shifts_decisions(self, rng):
+        # Heavily imbalanced training set biases predictions toward the
+        # majority class on ambiguous points.
+        x = np.vstack([rng.normal(0.0, 1.0, size=(180, 1)),
+                       rng.normal(1.0, 1.0, size=(20, 1))])
+        y = np.concatenate([np.zeros(180, dtype=int),
+                            np.ones(20, dtype=int)])
+        model = GaussianNaiveBayes().fit(x, y)
+        ambiguous = model.predict(np.array([[0.5]]))
+        assert ambiguous[0] == 0
+
+    def test_arity_change_rejected(self, gaussian_problem):
+        x, y = gaussian_problem
+        model = GaussianNaiveBayes().fit(x, y)
+        with pytest.raises(ValidationError, match="arity"):
+            model.predict(np.zeros((2, 7)))

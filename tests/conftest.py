@@ -1,0 +1,43 @@
+"""Shared fixtures for the repro test-suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import FairnessDataset
+from repro.data.simulated import paper_simulation_spec
+
+
+@pytest.fixture
+def rng():
+    """A deterministic generator; tests needing randomness share this."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_dataset(rng):
+    """A tiny labelled dataset covering all four (u, s) subgroups."""
+    spec = paper_simulation_spec()
+    return spec.sample(240, rng=rng)
+
+
+@pytest.fixture
+def paper_split(rng):
+    """A small-but-realistic research/archive split of the paper's data."""
+    spec = paper_simulation_spec()
+    composite = spec.sample(1500, rng=rng)
+    return composite.split(n_research=300, rng=rng)
+
+
+@pytest.fixture
+def tiny_dataset():
+    """A fixed 8-row dataset for exact-value assertions."""
+    features = np.array([
+        [0.0, 1.0], [1.0, 2.0], [2.0, 3.0], [3.0, 4.0],
+        [4.0, 5.0], [5.0, 6.0], [6.0, 7.0], [7.0, 8.0],
+    ])
+    s = np.array([0, 1, 0, 1, 0, 1, 0, 1])
+    u = np.array([0, 0, 0, 0, 1, 1, 1, 1])
+    y = np.array([0, 0, 1, 1, 0, 1, 0, 1])
+    return FairnessDataset(features, s, u, y)

@@ -1,0 +1,149 @@
+"""Tests for Algorithm 1 (repair-plan design)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.design import design_feature_plan, design_repair
+from repro.exceptions import ValidationError
+from repro.ot.coupling import marginal_residual
+from repro.ot.onedim import wasserstein_1d
+
+
+@pytest.fixture
+def samples_by_s(rng):
+    return {0: rng.normal(-1.0, 1.0, size=70),
+            1: rng.normal(1.0, 1.0, size=90)}
+
+
+class TestDesignFeaturePlan:
+    def test_grid_spans_combined_range(self, samples_by_s):
+        plan = design_feature_plan(samples_by_s, 30)
+        combined = np.concatenate([samples_by_s[0], samples_by_s[1]])
+        assert plan.grid.low == pytest.approx(combined.min())
+        assert plan.grid.high == pytest.approx(combined.max())
+
+    def test_transports_couple_marginal_to_barycenter(self, samples_by_s):
+        plan = design_feature_plan(samples_by_s, 30)
+        for s in (0, 1):
+            residual = marginal_residual(plan.transports[s].matrix,
+                                         plan.marginals[s],
+                                         plan.barycenter)
+            assert residual < 1e-8
+
+    def test_barycenter_is_w2_midpoint(self, samples_by_s):
+        plan = design_feature_plan(samples_by_s, 60)
+        nodes = plan.grid.nodes
+        d0 = wasserstein_1d(nodes, plan.marginals[0], nodes,
+                            plan.barycenter, p=2)
+        d1 = wasserstein_1d(nodes, plan.marginals[1], nodes,
+                            plan.barycenter, p=2)
+        assert d0 == pytest.approx(d1, rel=0.1, abs=0.02)
+
+    def test_t_zero_target_is_mu0(self, samples_by_s):
+        plan = design_feature_plan(samples_by_s, 60, t=0.0)
+        nodes = plan.grid.nodes
+        gap = wasserstein_1d(nodes, plan.barycenter, nodes,
+                             plan.marginals[0], p=2)
+        assert gap < 0.1
+
+    def test_t_one_target_is_mu1(self, samples_by_s):
+        plan = design_feature_plan(samples_by_s, 60, t=1.0)
+        nodes = plan.grid.nodes
+        gap = wasserstein_1d(nodes, plan.barycenter, nodes,
+                             plan.marginals[1], p=2)
+        assert gap < 0.1
+
+    def test_solvers_agree_on_plan_cost(self, samples_by_s):
+        exact = design_feature_plan(samples_by_s, 15, solver="exact")
+        simplex = design_feature_plan(samples_by_s, 15, solver="simplex")
+        for s in (0, 1):
+            assert exact.transports[s].cost == pytest.approx(
+                simplex.transports[s].cost, rel=1e-6, abs=1e-10)
+
+    def test_sinkhorn_solver_near_exact(self, samples_by_s):
+        exact = design_feature_plan(samples_by_s, 15, solver="exact")
+        entropic = design_feature_plan(samples_by_s, 15,
+                                       solver="sinkhorn", epsilon=1e-3)
+        for s in (0, 1):
+            assert entropic.transports[s].cost >= \
+                exact.transports[s].cost - 1e-9
+            assert entropic.transports[s].cost == pytest.approx(
+                exact.transports[s].cost, rel=0.25, abs=0.01)
+
+    def test_linear_estimator_mass_matches_empirical(self, rng):
+        samples = {0: np.full(50, 3.0), 1: rng.normal(3.0, 1.0, size=50)}
+        plan = design_feature_plan(samples, 20,
+                                   marginal_estimator="linear")
+        # All s=0 mass must sit on the two nodes bracketing the atom.
+        idx, tau = plan.grid.locate(np.array([3.0]))
+        mass = (plan.marginals[0][idx[0]]
+                + plan.marginals[0][idx[0] + 1])
+        assert mass == pytest.approx(1.0, abs=1e-9)
+
+    def test_padding_widens_grid(self, samples_by_s):
+        plain = design_feature_plan(samples_by_s, 20)
+        padded = design_feature_plan(samples_by_s, 20, padding=0.1)
+        assert padded.grid.low < plain.grid.low
+        assert padded.grid.high > plain.grid.high
+
+    def test_missing_class_rejected(self, rng):
+        with pytest.raises(ValidationError, match="both s=0 and s=1"):
+            design_feature_plan({0: rng.normal(size=10)}, 10)
+
+    def test_empty_subgroup_rejected(self, rng):
+        with pytest.raises(ValidationError, match="no research points"):
+            design_feature_plan({0: np.array([]),
+                                 1: rng.normal(size=10)}, 10)
+
+    def test_single_point_subgroup_allowed(self, rng):
+        # Figure 3's smallest research sizes leave 1-2 points in the
+        # rarest subgroup; the design must degrade gracefully, not fail.
+        plan = design_feature_plan({0: [1.0], 1: rng.normal(size=10)}, 10)
+        assert plan.marginals[0].sum() == pytest.approx(1.0)
+
+    def test_unknown_solver_rejected(self, samples_by_s):
+        with pytest.raises(ValidationError, match="unknown solver"):
+            design_feature_plan(samples_by_s, 10, solver="quantum")
+
+    def test_unknown_estimator_rejected(self, samples_by_s):
+        with pytest.raises(ValidationError, match="marginal_estimator"):
+            design_feature_plan(samples_by_s, 10,
+                                marginal_estimator="spline")
+
+
+class TestDesignRepair:
+    def test_covers_all_cells(self, paper_split):
+        plan = design_repair(paper_split.research, 25)
+        assert plan.n_features == 2
+        assert set(plan.feature_plans) == {(u, k) for u in (0, 1)
+                                           for k in (0, 1)}
+        assert plan.t == 0.5
+
+    def test_metadata_recorded(self, paper_split):
+        plan = design_repair(paper_split.research, 25, solver="exact")
+        assert plan.metadata["solver"] == "exact"
+        assert plan.metadata["n_research"] == len(paper_split.research)
+        assert plan.metadata["marginal_estimator"] == "kde"
+
+    def test_per_cell_resolutions(self, paper_split):
+        states = {(u, k): 10 + 5 * u + k for u in (0, 1) for k in (0, 1)}
+        plan = design_repair(paper_split.research, states)
+        for (u, k), n_q in states.items():
+            assert plan.feature_plan(u, k).grid.n_states == n_q
+
+    def test_missing_cell_resolution_rejected(self, paper_split):
+        with pytest.raises(ValidationError, match="missing cell"):
+            design_repair(paper_split.research, {(0, 0): 10})
+
+    def test_group_without_both_classes_rejected(self, rng):
+        from repro.data.dataset import FairnessDataset
+        x = rng.normal(size=(20, 1))
+        s = np.zeros(20, dtype=int)
+        s[:10] = 1
+        u = np.zeros(20, dtype=int)
+        u[:10] = 1  # u=1 rows are all s=1; u=0 rows all s=0
+        data = FairnessDataset(x, s, u)
+        with pytest.raises(ValidationError, match="lacks research data"):
+            design_repair(data, 10)

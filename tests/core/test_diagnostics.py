@@ -1,0 +1,110 @@
+"""Tests for the stationarity/drift diagnostics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.design import design_repair
+from repro.core.diagnostics import DriftMonitor
+from repro.data.dataset import FairnessDataset
+from repro.exceptions import ValidationError
+
+
+@pytest.fixture
+def monitor_and_split(rng):
+    # A research set large enough that every subgroup's grid solidly
+    # covers the stationary archive (tiny subgroups legitimately clip a
+    # few boundary points, which is drift-like behaviour by design).
+    from repro.data.simulated import paper_simulation_spec
+    split = paper_simulation_spec().sample(4000, rng=rng).split(
+        n_research=1200, rng=rng)
+    plan = design_repair(split.research, 30, padding=0.05)
+    return DriftMonitor(plan), split
+
+
+class TestNoDrift:
+    def test_stationary_archive_clean(self, monitor_and_split):
+        monitor, split = monitor_and_split
+        report = monitor.check(split.archive)
+        assert not report.any_drift
+        assert report.worst_coverage > 0.95
+        assert report.worst_w1_shift < 0.1
+
+    def test_cells_cover_all_groups(self, monitor_and_split):
+        monitor, split = monitor_and_split
+        report = monitor.check(split.archive)
+        keys = {(c.u, c.s, c.k) for c in report.cells}
+        expected = {(u, s, k) for u in (0, 1) for s in (0, 1)
+                    for k in (0, 1)}
+        assert keys == expected
+
+    def test_diagnostics_fields(self, monitor_and_split):
+        monitor, split = monitor_and_split
+        report = monitor.check(split.archive)
+        for cell in report.cells:
+            assert 0.0 <= cell.coverage <= 1.0
+            assert cell.w1_shift >= 0.0
+            assert 0.0 <= cell.tv_shift <= 1.0
+            assert cell.n_points > 0
+
+
+class TestDriftDetection:
+    def test_mean_shift_flagged(self, monitor_and_split):
+        monitor, split = monitor_and_split
+        shifted = split.archive.with_features(
+            split.archive.features + 3.0)
+        report = monitor.check(shifted)
+        assert report.any_drift
+        assert report.worst_coverage < 0.9
+
+    def test_scale_drift_flagged(self, monitor_and_split):
+        monitor, split = monitor_and_split
+        inflated = split.archive.with_features(
+            split.archive.features * 4.0)
+        report = monitor.check(inflated)
+        assert report.any_drift
+
+    def test_subtle_shift_raises_w1(self, monitor_and_split):
+        monitor, split = monitor_and_split
+        clean = monitor.check(split.archive).worst_w1_shift
+        nudged = split.archive.with_features(
+            split.archive.features + 0.5)
+        drifted = monitor.check(nudged).worst_w1_shift
+        assert drifted > clean
+
+    def test_thresholds_configurable(self, paper_split):
+        plan = design_repair(paper_split.research, 30)
+        paranoid = DriftMonitor(plan, min_coverage=1.0,
+                                max_w1_shift=1e-6)
+        report = paranoid.check(paper_split.archive)
+        # With absurd thresholds, even stationary data is "drifted".
+        assert report.any_drift
+
+
+class TestValidation:
+    def test_requires_repair_plan(self):
+        with pytest.raises(ValidationError, match="RepairPlan"):
+            DriftMonitor("not a plan")
+
+    def test_feature_mismatch_rejected(self, monitor_and_split, rng):
+        monitor, _ = monitor_and_split
+        bad = FairnessDataset(rng.normal(size=(10, 3)),
+                              rng.integers(0, 2, 10),
+                              rng.integers(0, 2, 10))
+        with pytest.raises(ValidationError, match="features"):
+            monitor.check(bad)
+
+    def test_unknown_group_rejected(self, monitor_and_split, rng):
+        monitor, _ = monitor_and_split
+        alien = FairnessDataset(rng.normal(size=(6, 2)),
+                                [0, 1, 0, 1, 0, 1], [3] * 6)
+        with pytest.raises(ValidationError, match="no design"):
+            monitor.check(alien)
+
+    def test_invalid_thresholds_rejected(self, paper_split):
+        plan = design_repair(paper_split.research, 10)
+        with pytest.raises(ValidationError):
+            DriftMonitor(plan, min_coverage=1.5)
+        with pytest.raises(ValidationError, match="max_w1_shift"):
+            DriftMonitor(plan, max_w1_shift=-0.1)

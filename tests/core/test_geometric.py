@@ -1,0 +1,138 @@
+"""Tests for the geometric-repair baseline (Del Barrio et al.)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.geometric import (GeometricRepairer, geometric_repair_1d,
+                                  geometric_repair_multivariate)
+from repro.exceptions import ValidationError
+from repro.metrics.fairness import conditional_dependence_energy
+
+
+class TestGeometricRepair1d:
+    def test_equal_sizes_midpoint_matching(self):
+        xs0 = np.array([0.0, 2.0])
+        xs1 = np.array([10.0, 12.0])
+        rep0, rep1 = geometric_repair_1d(xs0, xs1, t=0.5)
+        # Monotone matching: 0<->10, 2<->12; midpoints 5 and 7.
+        np.testing.assert_allclose(rep0, [5.0, 7.0])
+        np.testing.assert_allclose(rep1, [5.0, 7.0])
+
+    def test_t_zero_keeps_group0_moves_group1(self):
+        xs0 = np.array([0.0, 1.0])
+        xs1 = np.array([5.0, 6.0])
+        rep0, rep1 = geometric_repair_1d(xs0, xs1, t=0.0)
+        np.testing.assert_allclose(rep0, xs0)
+        np.testing.assert_allclose(rep1, xs0)  # pushed onto group 0
+
+    def test_t_one_keeps_group1(self):
+        xs0 = np.array([0.0, 1.0])
+        xs1 = np.array([5.0, 6.0])
+        rep0, rep1 = geometric_repair_1d(xs0, xs1, t=1.0)
+        np.testing.assert_allclose(rep1, xs1)
+        np.testing.assert_allclose(rep0, xs1)
+
+    def test_unequal_sizes_mass_split(self):
+        rep0, rep1 = geometric_repair_1d([0.0], [10.0, 20.0], t=0.5)
+        # The single source point splits across both targets: conditional
+        # mean is 15, midpoint 7.5.
+        np.testing.assert_allclose(rep0, [7.5])
+        np.testing.assert_allclose(rep1, [5.0, 10.0])
+
+    def test_input_order_preserved(self, rng):
+        xs0 = rng.normal(size=9)
+        xs1 = rng.normal(3.0, 1.0, size=9)
+        rep0, _ = geometric_repair_1d(xs0, xs1)
+        order = np.argsort(xs0)
+        # Repair is monotone: sorted inputs map to sorted outputs.
+        assert np.all(np.diff(rep0[order]) >= -1e-9)
+
+    def test_aligns_distributions(self, rng):
+        xs0 = rng.normal(-2.0, 1.0, size=300)
+        xs1 = rng.normal(2.0, 1.0, size=500)
+        rep0, rep1 = geometric_repair_1d(xs0, xs1)
+        assert abs(rep0.mean() - rep1.mean()) < 0.1
+        assert abs(np.median(rep0) - np.median(rep1)) < 0.2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError, match="at least one"):
+            geometric_repair_1d([], [1.0])
+
+
+class TestGeometricRepairMultivariate:
+    def test_translation_recovered(self, rng):
+        xs0 = rng.normal(size=(40, 2))
+        xs1 = xs0 + np.array([4.0, 0.0])
+        rep0, rep1 = geometric_repair_multivariate(xs0, xs1, t=0.5)
+        # Both groups should land on the common midpoint cloud.
+        np.testing.assert_allclose(rep0.mean(axis=0), rep1.mean(axis=0),
+                                   atol=0.15)
+
+    def test_1d_input_promoted(self, rng):
+        rep0, rep1 = geometric_repair_multivariate(
+            rng.normal(size=10), rng.normal(size=12))
+        assert rep0.shape == (10, 1)
+        assert rep1.shape == (12, 1)
+
+    def test_matches_1d_variant_cost(self, rng):
+        xs0 = rng.normal(-1.0, 1.0, size=15)
+        xs1 = rng.normal(1.0, 1.0, size=15)
+        mv0, mv1 = geometric_repair_multivariate(xs0, xs1)
+        d0, d1 = geometric_repair_1d(xs0, xs1)
+        np.testing.assert_allclose(np.sort(mv0.ravel()), np.sort(d0),
+                                   atol=1e-6)
+        np.testing.assert_allclose(np.sort(mv1.ravel()), np.sort(d1),
+                                   atol=1e-6)
+
+
+class TestGeometricRepairer:
+    def test_quenches_dependence_per_group(self, paper_split):
+        repaired = GeometricRepairer().fit_transform(paper_split.research)
+        before = conditional_dependence_energy(
+            paper_split.research.features, paper_split.research.s,
+            paper_split.research.u).total
+        after = conditional_dependence_energy(
+            repaired.features, repaired.s, repaired.u).total
+        assert after < before / 5.0
+
+    def test_labels_preserved(self, paper_split):
+        repaired = GeometricRepairer().fit_transform(paper_split.research)
+        np.testing.assert_array_equal(repaired.s, paper_split.research.s)
+        np.testing.assert_array_equal(repaired.u, paper_split.research.u)
+
+    def test_partial_t(self, paper_split):
+        full = GeometricRepairer(t=0.5).fit_transform(paper_split.research)
+        partial = GeometricRepairer(t=0.1).fit_transform(
+            paper_split.research)
+        # t = 0.1 pulls everything close to group 0's geometry; both are
+        # valid repairs but differ.
+        assert not np.allclose(full.features, partial.features)
+
+    def test_multivariate_mode(self, rng):
+        from repro.data.simulated import paper_simulation_spec
+        data = paper_simulation_spec().sample(120, rng=rng)
+        repaired = GeometricRepairer(mode="multivariate").fit_transform(
+            data)
+        report = conditional_dependence_energy(repaired.features,
+                                               repaired.s, repaired.u)
+        before = conditional_dependence_energy(data.features, data.s,
+                                               data.u)
+        assert report.total < before.total
+
+    def test_missing_class_rejected(self, rng):
+        from repro.data.dataset import FairnessDataset
+        data = FairnessDataset(rng.normal(size=(10, 1)),
+                               np.zeros(10, dtype=int),
+                               np.zeros(10, dtype=int))
+        with pytest.raises(ValidationError, match="lacks"):
+            GeometricRepairer().fit_transform(data)
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValidationError, match="mode"):
+            GeometricRepairer(mode="hyperbolic")
+
+    def test_invalid_t_rejected(self):
+        with pytest.raises(ValidationError):
+            GeometricRepairer(t=1.5)

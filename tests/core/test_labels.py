@@ -1,0 +1,118 @@
+"""Tests for s|u label estimation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.labels import (GaussianClassConditional, SubgroupLabelModel,
+                               em_refine)
+from repro.data.simulated import paper_simulation_spec
+from repro.exceptions import NotFittedError, ValidationError
+
+
+class TestGaussianClassConditional:
+    def test_fit_recovers_moments(self, rng):
+        xs = rng.multivariate_normal([1.0, -2.0],
+                                     [[2.0, 0.5], [0.5, 1.0]], size=5000)
+        component = GaussianClassConditional.fit(xs)
+        np.testing.assert_allclose(component.mean, [1.0, -2.0], atol=0.1)
+        np.testing.assert_allclose(component.cov,
+                                   [[2.0, 0.5], [0.5, 1.0]], atol=0.15)
+
+    def test_log_pdf_matches_scipy(self, rng):
+        from scipy.stats import multivariate_normal
+        mean = np.array([0.5, -0.5])
+        cov = np.array([[1.5, 0.3], [0.3, 0.8]])
+        component = GaussianClassConditional(mean, cov)
+        xs = rng.normal(size=(20, 2))
+        expected = multivariate_normal(mean, component.cov).logpdf(xs)
+        np.testing.assert_allclose(component.log_pdf(xs), expected,
+                                   rtol=1e-8)
+
+    def test_singular_covariance_ridged(self):
+        # Perfectly correlated features would be singular without ridge.
+        component = GaussianClassConditional([0.0, 0.0],
+                                             [[1.0, 1.0], [1.0, 1.0]])
+        assert np.isfinite(component.log_pdf([[0.0, 0.0]])).all()
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValidationError, match="covariance"):
+            GaussianClassConditional([0.0, 0.0], np.eye(3))
+
+
+class TestSubgroupLabelModel:
+    @pytest.fixture
+    def split(self, rng):
+        spec = paper_simulation_spec()
+        return spec.sample(3000, rng=rng).split(n_research=600, rng=rng)
+
+    def test_accuracy_beats_chance(self, split):
+        model = SubgroupLabelModel().fit(split.research)
+        accuracy = model.accuracy(split.archive)
+        # Components are well separated for s=0 vs s=1 within u groups.
+        assert accuracy > 0.6
+
+    def test_posterior_bounds(self, split):
+        model = SubgroupLabelModel().fit(split.research)
+        proba = model.predict_proba(split.archive.features,
+                                    split.archive.u)
+        assert np.all((proba >= 0.0) & (proba <= 1.0))
+
+    def test_predict_thresholds_posterior(self, split):
+        model = SubgroupLabelModel().fit(split.research)
+        proba = model.predict_proba(split.archive.features,
+                                    split.archive.u)
+        labels = model.predict(split.archive.features, split.archive.u)
+        np.testing.assert_array_equal(labels, (proba >= 0.5).astype(int))
+
+    def test_label_archive_replaces_s(self, split):
+        model = SubgroupLabelModel().fit(split.research)
+        relabelled = model.label_archive(split.archive)
+        assert len(relabelled) == len(split.archive)
+        np.testing.assert_array_equal(relabelled.u, split.archive.u)
+        predicted = model.predict(split.archive.features, split.archive.u)
+        np.testing.assert_array_equal(relabelled.s, predicted)
+
+    def test_not_fitted_rejected(self, split):
+        model = SubgroupLabelModel()
+        with pytest.raises(NotFittedError):
+            model.predict(split.archive.features, split.archive.u)
+
+    def test_unknown_group_rejected(self, split, rng):
+        model = SubgroupLabelModel().fit(split.research)
+        with pytest.raises(ValidationError, match="not fitted for group"):
+            model.predict(rng.normal(size=(3, 2)), [7, 7, 7])
+
+    def test_tiny_subgroup_rejected(self, rng):
+        from repro.data.dataset import FairnessDataset
+        x = rng.normal(size=(5, 1))
+        data = FairnessDataset(x, [0, 1, 1, 1, 1], [0, 0, 0, 0, 0])
+        with pytest.raises(ValidationError, match=">= 2"):
+            SubgroupLabelModel().fit(data)
+
+
+class TestEmRefine:
+    def test_refinement_does_not_collapse(self, rng):
+        spec = paper_simulation_spec()
+        split = spec.sample(4000, rng=rng).split(n_research=400, rng=rng)
+        model = SubgroupLabelModel().fit(split.research)
+        refined = em_refine(model, split.archive, n_iter=15)
+        base_acc = model.accuracy(split.archive)
+        refined_acc = refined.accuracy(split.archive)
+        # EM must stay in the same basin (warm start) and not fall apart.
+        assert refined_acc > base_acc - 0.1
+
+    def test_requires_fitted_model(self, rng):
+        spec = paper_simulation_spec()
+        archive = spec.sample(100, rng=rng)
+        with pytest.raises(NotFittedError):
+            em_refine(SubgroupLabelModel(), archive)
+
+    def test_returns_new_model(self, rng):
+        spec = paper_simulation_spec()
+        split = spec.sample(1000, rng=rng).split(n_research=300, rng=rng)
+        model = SubgroupLabelModel().fit(split.research)
+        refined = em_refine(model, split.archive, n_iter=3)
+        assert refined is not model
+        assert refined.is_fitted

@@ -1,0 +1,156 @@
+"""Tests for the Monge-map repairer (the paper's Section VI limit)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.monge import MongeFeatureMap, MongeRepairer
+from repro.core.repair import DistributionalRepairer
+from repro.data.dataset import FairnessDataset
+from repro.exceptions import NotFittedError, ValidationError
+from repro.metrics.fairness import conditional_dependence_energy
+
+
+class TestMongeFeatureMap:
+    def test_monotone_interpolation(self):
+        mapping = MongeFeatureMap(knots=np.array([0.0, 1.0, 2.0]),
+                                  images=np.array([10.0, 20.0, 30.0]))
+        np.testing.assert_allclose(mapping([0.5, 1.5]), [15.0, 25.0])
+
+    def test_out_of_range_saturates(self):
+        mapping = MongeFeatureMap(knots=np.array([0.0, 1.0]),
+                                  images=np.array([5.0, 6.0]))
+        np.testing.assert_allclose(mapping([-10.0, 10.0]), [5.0, 6.0])
+
+    def test_images_forced_monotone(self):
+        mapping = MongeFeatureMap(knots=np.array([0.0, 1.0, 2.0]),
+                                  images=np.array([1.0, 0.5, 2.0]))
+        assert np.all(np.diff(mapping.images) >= 0.0)
+
+    def test_invalid_knots_rejected(self):
+        with pytest.raises(ValidationError, match="increasing"):
+            MongeFeatureMap(knots=np.array([1.0, 1.0]),
+                            images=np.array([0.0, 1.0]))
+        with pytest.raises(ValidationError, match="matching"):
+            MongeFeatureMap(knots=np.array([0.0, 1.0]),
+                            images=np.array([0.0]))
+
+
+class TestMongeRepairer:
+    def test_quenches_dependence(self, rng):
+        from repro.data.simulated import paper_simulation_spec
+        split = paper_simulation_spec().sample(5500, rng=rng).split(
+            n_research=1000, rng=rng)
+        repairer = MongeRepairer().fit(split.research)
+        repaired = repairer.transform(split.archive)
+        before = conditional_dependence_energy(
+            split.archive.features, split.archive.s,
+            split.archive.u).total
+        after = conditional_dependence_energy(
+            repaired.features, repaired.s, repaired.u).total
+        assert after < before / 3.0
+
+    def test_deterministic(self, paper_split):
+        repairer = MongeRepairer().fit(paper_split.research)
+        a = repairer.transform(paper_split.archive)
+        b = repairer.transform(paper_split.archive)
+        np.testing.assert_array_equal(a.features, b.features)
+
+    def test_individual_fairness_order_preserved(self, paper_split):
+        # Monge maps are monotone: within a subgroup, the repair never
+        # swaps the order of two individuals — the individual-fairness
+        # property the paper anticipates.
+        repairer = MongeRepairer().fit(paper_split.research)
+        repaired = repairer.transform(paper_split.archive)
+        for u in (0, 1):
+            for s in (0, 1):
+                mask = paper_split.archive.group_mask(u, s)
+                for k in range(2):
+                    original = paper_split.archive.features[mask, k]
+                    fixed = repaired.features[mask, k]
+                    order = np.argsort(original)
+                    assert np.all(np.diff(fixed[order]) >= -1e-12)
+
+    def test_identical_inputs_identical_outputs(self, paper_split):
+        # Feature-similar points repaired similarly — the contrast with
+        # the stochastic Algorithm 2, which can split them.
+        repairer = MongeRepairer().fit(paper_split.research)
+        x = np.array([[0.3, -0.2], [0.3, -0.2]])
+        clones = FairnessDataset(x, [1, 1], [0, 0])
+        repaired = repairer.transform(clones)
+        np.testing.assert_array_equal(repaired.features[0],
+                                      repaired.features[1])
+
+    def test_both_groups_align(self, rng):
+        from repro.data.simulated import paper_simulation_spec
+        split = paper_simulation_spec().sample(6000, rng=rng).split(
+            n_research=1500, rng=rng)
+        repairer = MongeRepairer().fit(split.research)
+        repaired = repairer.transform(split.archive)
+        # The repaired group means coincide up to the research
+        # sample-mean error the maps are anchored to (SE ~ n_group^-1/2).
+        for u in (0, 1):
+            for k in (0, 1):
+                v0 = repaired.features[repaired.group_mask(u, 0), k]
+                v1 = repaired.features[repaired.group_mask(u, 1), k]
+                assert abs(v0.mean() - v1.mean()) < 0.35
+                assert abs(np.median(v0) - np.median(v1)) < 0.4
+
+    def test_continuous_outputs(self, paper_split):
+        # Unlike Algorithm 2, outputs are not quantised to any grid: the
+        # number of distinct repaired values matches the input count.
+        repairer = MongeRepairer().fit(paper_split.research)
+        repaired = repairer.transform(paper_split.archive)
+        values = repaired.features[:, 0]
+        assert np.unique(values).size > 0.9 * values.size
+
+    def test_t_zero_leaves_group0_nearly_fixed(self, paper_split):
+        repairer = MongeRepairer(t=0.0).fit(paper_split.research)
+        repaired = repairer.transform(paper_split.archive)
+        for u in (0, 1):
+            mask = paper_split.archive.group_mask(u, 0)
+            drift = np.abs(repaired.features[mask]
+                           - paper_split.archive.features[mask]).mean()
+            assert drift < 0.25  # T is ~identity for the source class
+
+    def test_not_fitted(self, paper_split):
+        repairer = MongeRepairer()
+        assert not repairer.is_fitted
+        with pytest.raises(NotFittedError):
+            repairer.transform(paper_split.archive)
+        with pytest.raises(NotFittedError):
+            repairer.feature_map(0, 0, 0)
+
+    def test_unknown_cell_rejected(self, paper_split):
+        repairer = MongeRepairer().fit(paper_split.research)
+        with pytest.raises(ValidationError, match="no Monge map"):
+            repairer.feature_map(5, 0, 0)
+
+    def test_feature_mismatch_rejected(self, paper_split, rng):
+        repairer = MongeRepairer().fit(paper_split.research)
+        bad = FairnessDataset(rng.normal(size=(4, 3)),
+                              rng.integers(0, 2, 4),
+                              rng.integers(0, 2, 4))
+        with pytest.raises(ValidationError, match="features"):
+            repairer.transform(bad)
+
+    def test_tiny_subgroup_rejected(self, rng):
+        data = FairnessDataset(rng.normal(size=(5, 1)),
+                               [0, 1, 1, 1, 1], [0, 0, 0, 0, 0])
+        with pytest.raises(ValidationError, match=">= 2"):
+            MongeRepairer().fit(data)
+
+    def test_comparable_to_distributional(self, paper_split):
+        monge = MongeRepairer().fit(paper_split.research)
+        stochastic = DistributionalRepairer(n_states=50, rng=1).fit(
+            paper_split.research)
+        e_monge = conditional_dependence_energy(
+            *(lambda d: (d.features, d.s, d.u))(
+                monge.transform(paper_split.archive))).total
+        e_stoch = conditional_dependence_energy(
+            *(lambda d: (d.features, d.s, d.u))(
+                stochastic.transform(paper_split.archive))).total
+        # Same ballpark: neither dominates by an order of magnitude.
+        assert e_monge < 10.0 * e_stoch
+        assert e_stoch < 10.0 * e_monge

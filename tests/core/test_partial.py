@@ -1,0 +1,100 @@
+"""Tests for partial repair and damage metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.partial import PartialRepairer, dampen_repair, repair_damage
+from repro.exceptions import ValidationError
+from repro.metrics.fairness import conditional_dependence_energy
+
+
+class TestDampenRepair:
+    def test_amount_zero_is_identity(self, paper_split, rng):
+        original = paper_split.archive
+        fake_repair = original.with_features(original.features + 10.0)
+        blended = dampen_repair(original, fake_repair, 0.0)
+        np.testing.assert_allclose(blended.features, original.features)
+
+    def test_amount_one_is_full_repair(self, paper_split):
+        original = paper_split.archive
+        fake_repair = original.with_features(original.features + 10.0)
+        blended = dampen_repair(original, fake_repair, 1.0)
+        np.testing.assert_allclose(blended.features, fake_repair.features)
+
+    def test_half_blend(self, paper_split):
+        original = paper_split.archive
+        fake_repair = original.with_features(original.features + 10.0)
+        blended = dampen_repair(original, fake_repair, 0.5)
+        np.testing.assert_allclose(blended.features,
+                                   original.features + 5.0)
+
+    def test_shape_mismatch_rejected(self, paper_split):
+        with pytest.raises(ValidationError, match="identical shape"):
+            dampen_repair(paper_split.archive, paper_split.research, 0.5)
+
+    def test_invalid_amount_rejected(self, paper_split):
+        fake = paper_split.archive.with_features(
+            paper_split.archive.features)
+        with pytest.raises(ValidationError):
+            dampen_repair(paper_split.archive, fake, 1.2)
+
+
+class TestRepairDamage:
+    def test_zero_for_identity(self, paper_split):
+        stats = repair_damage(paper_split.archive, paper_split.archive)
+        assert stats["total_rms"] == pytest.approx(0.0)
+        np.testing.assert_allclose(stats["mean_abs"], 0.0)
+
+    def test_known_displacement(self, paper_split):
+        original = paper_split.archive
+        shifted = original.with_features(original.features + 2.0)
+        stats = repair_damage(original, shifted)
+        np.testing.assert_allclose(stats["mean_abs"], 2.0)
+        np.testing.assert_allclose(stats["rms"], 2.0)
+        np.testing.assert_allclose(stats["max"], 2.0)
+        assert stats["total_rms"] == pytest.approx(2.0)
+
+    def test_damage_monotone_in_amount(self, paper_split):
+        original = paper_split.archive
+        full = original.with_features(original.features + 3.0)
+        damages = [repair_damage(original,
+                                 dampen_repair(original, full, a)
+                                 )["total_rms"]
+                   for a in (0.0, 0.3, 0.7, 1.0)]
+        assert damages == sorted(damages)
+
+
+class TestPartialRepairer:
+    def test_full_amount_matches_plain_repairer(self, paper_split):
+        partial = PartialRepairer(amount=1.0, n_states=25, rng=0)
+        partial.fit(paper_split.research)
+        repaired = partial.transform(paper_split.archive, rng=4)
+        direct = partial.repairer.transform(paper_split.archive, rng=4)
+        np.testing.assert_allclose(repaired.features, direct.features)
+
+    def test_zero_amount_is_identity(self, paper_split):
+        partial = PartialRepairer(amount=0.0, n_states=25, rng=0)
+        repaired = partial.fit_transform(paper_split.research, rng=1)
+        np.testing.assert_allclose(repaired.features,
+                                   paper_split.research.features)
+
+    def test_trade_off_curve_monotone_damage(self, paper_split):
+        partial = PartialRepairer(n_states=25, rng=0)
+
+        def energy_fn(dataset):
+            return conditional_dependence_energy(
+                dataset.features, dataset.s, dataset.u).total
+
+        records = partial.trade_off_curve(
+            paper_split.research, paper_split.archive,
+            amounts=(0.0, 0.5, 1.0), energy_fn=energy_fn, rng=2)
+        damages = [r["damage"] for r in records]
+        assert damages == sorted(damages)
+        # Full repair should be fairer than no repair.
+        assert records[-1]["energy"] < records[0]["energy"]
+
+    def test_invalid_amount_rejected(self):
+        with pytest.raises(ValidationError):
+            PartialRepairer(amount=-0.1)

@@ -1,0 +1,92 @@
+"""Tests for the end-to-end repair pipeline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import RepairPipeline
+from repro.data.streaming import ArchiveStream
+from repro.exceptions import NotFittedError, ValidationError
+
+
+class TestFitAndRepair:
+    def test_repair_reduces_energy(self, paper_split):
+        pipeline = RepairPipeline(n_states=30, rng=0)
+        pipeline.fit(paper_split.research)
+        repaired, report = pipeline.repair_and_report(paper_split.archive)
+        assert report.after.total < report.before.total
+        assert report.reduction_factor > 1.0
+        assert report.n_rows == len(paper_split.archive)
+        assert report.label_accuracy is None
+
+    def test_not_fitted_raises(self, paper_split):
+        pipeline = RepairPipeline()
+        with pytest.raises(NotFittedError):
+            pipeline.repair(paper_split.archive)
+
+    def test_repair_without_report(self, paper_split):
+        pipeline = RepairPipeline(n_states=30, rng=0)
+        pipeline.fit(paper_split.research)
+        repaired = pipeline.repair(paper_split.archive, rng=1)
+        assert len(repaired) == len(paper_split.archive)
+
+    def test_report_str_mentions_reduction(self, paper_split):
+        pipeline = RepairPipeline(n_states=30, rng=0)
+        pipeline.fit(paper_split.research)
+        _, report = pipeline.repair_and_report(paper_split.archive)
+        assert "reduction" in str(report)
+
+
+class TestLabelEstimation:
+    def test_estimated_labels_pipeline(self, paper_split):
+        pipeline = RepairPipeline(estimate_labels=True, n_states=30, rng=0)
+        pipeline.fit(paper_split.research)
+        repaired, report = pipeline.repair_and_report(paper_split.archive)
+        assert report.label_accuracy is not None
+        assert 0.0 <= report.label_accuracy <= 1.0
+        # Repair under estimated labels must still reduce dependence as
+        # measured against those labels.
+        assert report.after.total < report.before.total
+
+    def test_label_model_property(self, paper_split):
+        pipeline = RepairPipeline(estimate_labels=True, n_states=20, rng=0)
+        with pytest.raises(NotFittedError):
+            _ = pipeline.label_model
+        pipeline.fit(paper_split.research)
+        assert pipeline.label_model.is_fitted
+
+    def test_label_model_unavailable_when_disabled(self, paper_split):
+        pipeline = RepairPipeline(estimate_labels=False, n_states=20,
+                                  rng=0)
+        pipeline.fit(paper_split.research)
+        with pytest.raises(NotFittedError):
+            _ = pipeline.label_model
+
+
+class TestStreaming:
+    def test_repair_stream(self, paper_split):
+        pipeline = RepairPipeline(n_states=25, rng=0)
+        pipeline.fit(paper_split.research)
+        stream = ArchiveStream(paper_split.archive, batch_size=200)
+        batches = list(pipeline.repair_stream(stream))
+        assert sum(len(b) for b in batches) == len(paper_split.archive)
+
+    def test_repair_stream_plain_iterable(self, paper_split):
+        pipeline = RepairPipeline(n_states=25, rng=0)
+        pipeline.fit(paper_split.research)
+        out = list(pipeline.repair_stream([paper_split.archive]))
+        assert len(out) == 1
+
+    def test_dataset_rejected_as_stream(self, paper_split):
+        pipeline = RepairPipeline(n_states=25, rng=0)
+        pipeline.fit(paper_split.research)
+        with pytest.raises(ValidationError, match="ArchiveStream"):
+            list(pipeline.repair_stream(paper_split.archive))
+
+    def test_streaming_with_label_estimation(self, paper_split):
+        pipeline = RepairPipeline(estimate_labels=True, n_states=25, rng=0)
+        pipeline.fit(paper_split.research)
+        stream = ArchiveStream(paper_split.archive, batch_size=300)
+        batches = list(pipeline.repair_stream(stream))
+        assert sum(len(b) for b in batches) == len(paper_split.archive)

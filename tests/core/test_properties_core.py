@@ -1,0 +1,77 @@
+"""Property-based tests for the repair algorithms."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.design import design_feature_plan
+from repro.core.geometric import geometric_repair_1d
+from repro.core.repair import repair_feature_values
+from repro.ot.coupling import marginal_residual
+
+
+def samples(n: int, lo=-20.0, hi=20.0):
+    return arrays(np.float64, n,
+                  elements=st.floats(lo, hi, allow_nan=False))
+
+
+@given(xs0=samples(12), xs1=samples(15), seed=st.integers(0, 2 ** 16))
+@settings(max_examples=40, deadline=None)
+def test_repair_outputs_stay_on_grid(xs0, xs1, seed):
+    plan = design_feature_plan({0: xs0, 1: xs1}, 12)
+    rng = np.random.default_rng(seed)
+    values = rng.uniform(np.min(xs0), np.max(xs0) + 1e-9, size=30)
+    repaired = repair_feature_values(values, plan, 0, rng=rng)
+    assert repaired.shape == values.shape
+    assert np.all(np.isin(repaired, plan.grid.nodes))
+
+
+@given(xs0=samples(10), xs1=samples(10),
+       n_states=st.integers(3, 25))
+@settings(max_examples=40, deadline=None)
+def test_designed_transports_always_couple(xs0, xs1, n_states):
+    plan = design_feature_plan({0: xs0, 1: xs1}, n_states)
+    for s in (0, 1):
+        residual = marginal_residual(plan.transports[s].matrix,
+                                     plan.marginals[s], plan.barycenter)
+        assert residual < 1e-7
+
+
+@given(xs0=samples(8), xs1=samples(8),
+       t=st.floats(0.0, 1.0, allow_nan=False))
+@settings(max_examples=60, deadline=None)
+def test_geometric_repair_bounded_by_hull(xs0, xs1, t):
+    rep0, rep1 = geometric_repair_1d(xs0, xs1, t)
+    lo = min(xs0.min(), xs1.min()) - 1e-9
+    hi = max(xs0.max(), xs1.max()) + 1e-9
+    assert np.all((rep0 >= lo) & (rep0 <= hi))
+    assert np.all((rep1 >= lo) & (rep1 <= hi))
+
+
+@given(xs0=samples(8), xs1=samples(8))
+@settings(max_examples=40, deadline=None)
+def test_geometric_half_repair_means_agree(xs0, xs1):
+    rep0, rep1 = geometric_repair_1d(xs0, xs1, t=0.5)
+    # Both repaired samples approximate the same barycentre, so their
+    # means coincide: each is the mean of (x0_sorted + x1_quantiles)/2
+    # under the same coupling.
+    assert rep0.mean() == pytest.approx(
+        (xs0.mean() + xs1.mean()) / 2.0, abs=1e-6)
+
+
+@given(xs=samples(10), shift=st.floats(-5.0, 5.0), seed=st.integers(0, 99))
+@settings(max_examples=40, deadline=None)
+def test_identical_marginals_repair_is_near_identity_in_mean(xs, shift,
+                                                             seed):
+    # When both subgroups share a distribution, the barycentre equals it
+    # and repair should preserve the sample mean (up to grid quantisation).
+    plan = design_feature_plan({0: xs, 1: xs}, 20,
+                               marginal_estimator="linear")
+    rng = np.random.default_rng(seed)
+    repaired = repair_feature_values(xs, plan, 0, rng=rng)
+    spread = max(xs.max() - xs.min(), 1e-3)
+    assert abs(repaired.mean() - xs.mean()) < 0.35 * spread + 1e-6

@@ -1,0 +1,78 @@
+"""Property-based tests for the extension modules."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.design import design_repair
+from repro.core.monge import MongeFeatureMap
+from repro.core.serialize import load_plan, save_plan
+from repro.data.binning import AttributeBinner
+from repro.data.dataset import FairnessDataset
+
+
+def samples(n: int, lo=-30.0, hi=30.0):
+    return arrays(np.float64, n,
+                  elements=st.floats(lo, hi, allow_nan=False))
+
+
+@given(values=samples(40), n_bins=st.integers(2, 8))
+@settings(max_examples=50, deadline=None)
+def test_binner_outputs_valid_bins(values, n_bins):
+    binner = AttributeBinner(n_bins=n_bins).fit(values)
+    bins = binner.transform(values)
+    assert bins.min() >= 0
+    assert bins.max() < binner.n_effective_bins
+
+
+@given(values=samples(30), probe=samples(10), n_bins=st.integers(2, 6))
+@settings(max_examples=50, deadline=None)
+def test_binner_is_monotone(values, probe, n_bins):
+    # Larger attribute values never land in a smaller bin.
+    binner = AttributeBinner(n_bins=n_bins).fit(values)
+    ordered = np.sort(probe)
+    bins = binner.transform(ordered)
+    assert np.all(np.diff(bins) >= 0)
+
+
+@given(knots_raw=samples(8), images=samples(8), queries=samples(12))
+@settings(max_examples=60, deadline=None)
+def test_monge_map_is_monotone_function(knots_raw, images, queries):
+    knots = np.sort(np.unique(knots_raw))
+    if knots.size < 2:
+        knots = np.array([0.0, 1.0])
+    mapping = MongeFeatureMap(knots=knots,
+                              images=images[: knots.size])
+    ordered = np.sort(queries)
+    out = mapping(ordered)
+    assert np.all(np.diff(out) >= -1e-12)
+    # Outputs bounded by the image range.
+    assert out.min() >= mapping.images.min() - 1e-12
+    assert out.max() <= mapping.images.max() + 1e-12
+
+
+@given(seed=st.integers(0, 2 ** 16), n_states=st.integers(5, 25))
+@settings(max_examples=15, deadline=None)
+def test_plan_serialization_round_trip(tmp_path_factory, seed, n_states):
+    rng = np.random.default_rng(seed)
+    n = 80
+    features = rng.normal(size=(n, 1)) + rng.integers(0, 2, n)[:, None]
+    data = FairnessDataset(features, rng.integers(0, 2, n),
+                           rng.integers(0, 2, n))
+    # Ensure all four groups are present; otherwise skip the example.
+    if len(data.group_sizes()) < 4:
+        return
+    plan = design_repair(data, n_states)
+    target = tmp_path_factory.mktemp("plans") / f"p{seed}.npz"
+    loaded = load_plan(save_plan(plan, target))
+    for key in plan.feature_plans:
+        np.testing.assert_array_equal(
+            loaded.feature_plans[key].transports[0].matrix,
+            plan.feature_plans[key].transports[0].matrix)
+        np.testing.assert_array_equal(
+            loaded.feature_plans[key].grid.nodes,
+            plan.feature_plans[key].grid.nodes)

@@ -1,0 +1,98 @@
+"""Tests for repair-plan persistence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.design import design_repair
+from repro.core.repair import repair_dataset
+from repro.core.serialize import FORMAT_VERSION, load_plan, save_plan
+from repro.exceptions import DataError, ValidationError
+
+
+@pytest.fixture
+def fitted_plan(paper_split):
+    return design_repair(paper_split.research, 20)
+
+
+class TestRoundTrip:
+    def test_structure_preserved(self, fitted_plan, tmp_path):
+        written = save_plan(fitted_plan, tmp_path / "plan.npz")
+        loaded = load_plan(written)
+        assert loaded.n_features == fitted_plan.n_features
+        assert loaded.t == fitted_plan.t
+        assert set(loaded.feature_plans) == set(fitted_plan.feature_plans)
+
+    def test_arrays_bitwise_equal(self, fitted_plan, tmp_path):
+        written = save_plan(fitted_plan, tmp_path / "plan.npz")
+        loaded = load_plan(written)
+        for key, original in fitted_plan.feature_plans.items():
+            restored = loaded.feature_plans[key]
+            np.testing.assert_array_equal(restored.grid.nodes,
+                                          original.grid.nodes)
+            np.testing.assert_array_equal(restored.barycenter,
+                                          original.barycenter)
+            for s in (0, 1):
+                np.testing.assert_array_equal(
+                    restored.marginals[s], original.marginals[s])
+                np.testing.assert_array_equal(
+                    restored.transports[s].matrix,
+                    original.transports[s].matrix)
+                assert restored.transports[s].cost == pytest.approx(
+                    original.transports[s].cost)
+
+    def test_metadata_survives(self, fitted_plan, tmp_path):
+        written = save_plan(fitted_plan, tmp_path / "plan.npz")
+        loaded = load_plan(written)
+        assert loaded.metadata["solver"] == fitted_plan.metadata["solver"]
+        assert (loaded.metadata["n_research"]
+                == fitted_plan.metadata["n_research"])
+
+    def test_suffix_appended(self, fitted_plan, tmp_path):
+        written = save_plan(fitted_plan, tmp_path / "plan")
+        assert written.suffix == ".npz"
+        assert written.exists()
+
+    def test_loaded_plan_repairs_identically(self, fitted_plan,
+                                             paper_split, tmp_path):
+        written = save_plan(fitted_plan, tmp_path / "plan.npz")
+        loaded = load_plan(written)
+        a = repair_dataset(paper_split.archive, fitted_plan,
+                           rng=np.random.default_rng(3))
+        b = repair_dataset(paper_split.archive, loaded,
+                           rng=np.random.default_rng(3))
+        np.testing.assert_allclose(a.features, b.features)
+
+
+class TestErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DataError, match="not found"):
+            load_plan(tmp_path / "absent.npz")
+
+    def test_not_a_plan_archive(self, tmp_path):
+        path = tmp_path / "other.npz"
+        np.savez(path, something=np.zeros(3))
+        with pytest.raises(DataError, match="missing header"):
+            load_plan(path)
+
+    def test_wrong_version_rejected(self, fitted_plan, tmp_path,
+                                    monkeypatch):
+        import repro.core.serialize as serialize
+        written = save_plan(fitted_plan, tmp_path / "plan.npz")
+        monkeypatch.setattr(serialize, "FORMAT_VERSION",
+                            FORMAT_VERSION + 1)
+        with pytest.raises(DataError, match="version"):
+            serialize.load_plan(written)
+
+    def test_save_rejects_non_plan(self, tmp_path):
+        with pytest.raises(ValidationError, match="RepairPlan"):
+            save_plan({"not": "a plan"}, tmp_path / "plan.npz")
+
+    def test_corrupt_archive_rejected(self, fitted_plan, tmp_path):
+        written = save_plan(fitted_plan, tmp_path / "plan.npz")
+        # Truncate the file to corrupt it.
+        data = written.read_bytes()
+        written.write_bytes(data[: len(data) // 3])
+        with pytest.raises((DataError, Exception)):
+            load_plan(written)

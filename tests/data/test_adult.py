@@ -1,0 +1,150 @@
+"""Tests for the Adult loader and the synthetic generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.adult import (DEFAULT_ADULT_SIZE, adult_schema,
+                              load_adult_csv, synthesize_adult)
+from repro.exceptions import DataError
+
+
+class TestSchema:
+    def test_names_and_bounds(self):
+        schema = adult_schema()
+        assert schema.feature_names == ("age", "hours_per_week")
+        assert schema.protected == "sex_male"
+        assert schema.unprotected == "college_educated"
+
+
+class TestSynthesize:
+    def test_size_and_schema(self, rng):
+        data = synthesize_adult(2000, rng=rng)
+        assert len(data) == 2000
+        assert data.feature_names == ("age", "hours_per_week")
+        assert data.y is not None
+
+    def test_default_size_matches_paper(self):
+        assert DEFAULT_ADULT_SIZE == 45_222
+
+    def test_marginals_match_calibration(self, rng):
+        data = synthesize_adult(30_000, rng=rng)
+        assert np.mean(data.s) == pytest.approx(0.669, abs=0.01)
+        # College rate depends on gender (structural bias preserved).
+        male_college = np.mean(data.u[data.s == 1])
+        female_college = np.mean(data.u[data.s == 0])
+        assert male_college > female_college
+
+    def test_feature_ranges(self, rng):
+        data = synthesize_adult(5000, rng=rng)
+        age = data.features[:, 0]
+        hours = data.features[:, 1]
+        assert age.min() >= 17.0 and age.max() <= 90.0
+        assert hours.min() >= 1.0 and hours.max() <= 99.0
+
+    def test_integer_features(self, rng):
+        data = synthesize_adult(1000, rng=rng)
+        np.testing.assert_allclose(data.features,
+                                   np.round(data.features))
+
+    def test_forty_hour_atom_present(self, rng):
+        data = synthesize_adult(10_000, rng=rng)
+        hours = data.features[:, 1]
+        assert np.mean(hours == 40.0) > 0.3
+
+    def test_gender_gap_in_hours(self, rng):
+        data = synthesize_adult(20_000, rng=rng)
+        hours = data.features[:, 1]
+        gap = hours[data.s == 1].mean() - hours[data.s == 0].mean()
+        assert 2.0 < gap < 8.0
+
+    def test_age_skewed_right(self, rng):
+        data = synthesize_adult(20_000, rng=rng)
+        age = data.features[:, 0]
+        assert age.mean() > np.median(age)  # right skew
+
+    def test_outcome_depends_on_gender(self, rng):
+        data = synthesize_adult(30_000, rng=rng)
+        male_rate = data.y[data.s == 1].mean()
+        female_rate = data.y[data.s == 0].mean()
+        assert male_rate > female_rate + 0.05
+
+    def test_without_outcome(self, rng):
+        data = synthesize_adult(100, rng=rng, with_outcome=False)
+        assert data.y is None
+
+    def test_deterministic(self):
+        a = synthesize_adult(500, rng=11)
+        b = synthesize_adult(500, rng=11)
+        np.testing.assert_allclose(a.features, b.features)
+
+
+class TestLoader:
+    ROW = ("39, State-gov, 77516, Bachelors, 13, Never-married, "
+           "Adm-clerical, Not-in-family, White, Male, 2174, 0, 40, "
+           "United-States, <=50K")
+    ROW_FEMALE = ("28, Private, 12345, HS-grad, 9, Married-civ-spouse, "
+                  "Sales, Wife, White, Female, 0, 0, 35, "
+                  "United-States, >50K")
+    ROW_MISSING = ("44, ?, 1234, Masters, 14, Divorced, ?, Unmarried, "
+                   "Black, Female, 0, 0, 50, United-States, <=50K")
+
+    def test_parse_basic(self, tmp_path):
+        path = tmp_path / "adult.data"
+        path.write_text(f"{self.ROW}\n{self.ROW_FEMALE}\n")
+        data = load_adult_csv(path)
+        assert len(data) == 2
+        np.testing.assert_allclose(data.features[0], [39.0, 40.0])
+        np.testing.assert_array_equal(data.s, [1, 0])
+        np.testing.assert_array_equal(data.u, [1, 0])  # 13 >= 13 > 9
+        np.testing.assert_array_equal(data.y, [0, 1])
+
+    def test_missing_values_dropped(self, tmp_path):
+        path = tmp_path / "adult.data"
+        path.write_text(f"{self.ROW}\n{self.ROW_MISSING}\n")
+        data = load_adult_csv(path)
+        assert len(data) == 1
+
+    def test_missing_values_raise_when_asked(self, tmp_path):
+        path = tmp_path / "adult.data"
+        path.write_text(f"{self.ROW_MISSING}\n")
+        with pytest.raises(DataError, match="missing"):
+            load_adult_csv(path, drop_missing=False)
+
+    def test_blank_lines_and_banner_skipped(self, tmp_path):
+        path = tmp_path / "adult.test"
+        path.write_text(f"|1x3 Cross validator\n{self.ROW}\n\n")
+        data = load_adult_csv(path)
+        assert len(data) == 1
+
+    def test_wrong_column_count_rejected(self, tmp_path):
+        path = tmp_path / "adult.data"
+        path.write_text("1, 2, 3\n")
+        with pytest.raises(DataError, match="expected 15"):
+            load_adult_csv(path)
+
+    def test_malformed_number_rejected(self, tmp_path):
+        path = tmp_path / "adult.data"
+        bad = self.ROW.replace("39", "thirty-nine")
+        path.write_text(f"{bad}\n")
+        with pytest.raises(DataError, match="malformed"):
+            load_adult_csv(path)
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(DataError, match="not found"):
+            load_adult_csv(tmp_path / "nope.data")
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "adult.data"
+        path.write_text("\n")
+        with pytest.raises(DataError, match="no usable records"):
+            load_adult_csv(path)
+
+    def test_gt50k_test_format(self, tmp_path):
+        # adult.test uses ">50K." with a trailing dot.
+        path = tmp_path / "adult.test"
+        row = self.ROW_FEMALE.replace(">50K", ">50K.")
+        path.write_text(f"{row}\n")
+        data = load_adult_csv(path)
+        np.testing.assert_array_equal(data.y, [1])

@@ -1,0 +1,131 @@
+"""Tests for continuous-attribute binning."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.binning import AttributeBinner
+from repro.data.dataset import FairnessDataset
+from repro.exceptions import NotFittedError, ValidationError
+
+
+class TestQuantileBinning:
+    def test_equal_mass_bins(self, rng):
+        values = rng.normal(size=10_000)
+        binner = AttributeBinner(n_bins=4, strategy="quantile")
+        bins = binner.fit_transform(values)
+        counts = np.bincount(bins, minlength=4)
+        np.testing.assert_allclose(counts / counts.sum(), 0.25, atol=0.02)
+
+    def test_edges_are_quantiles(self, rng):
+        values = rng.normal(size=5000)
+        binner = AttributeBinner(n_bins=4).fit(values)
+        np.testing.assert_allclose(
+            binner.edges, np.quantile(values, [0.25, 0.5, 0.75]),
+            rtol=1e-9)
+
+    def test_heavy_ties_collapse_bins(self):
+        values = np.array([1.0] * 90 + [2.0] * 10)
+        binner = AttributeBinner(n_bins=4).fit(values)
+        assert binner.n_effective_bins < 4
+        bins = binner.transform(values)
+        assert set(np.unique(bins)) <= set(range(binner.n_effective_bins))
+
+
+class TestUniformBinning:
+    def test_equal_width_edges(self):
+        binner = AttributeBinner(n_bins=4, strategy="uniform")
+        binner.fit(np.array([0.0, 8.0]))
+        np.testing.assert_allclose(binner.edges, [2.0, 4.0, 6.0])
+
+    def test_transform_assigns_by_width(self):
+        binner = AttributeBinner(n_bins=4, strategy="uniform")
+        binner.fit(np.array([0.0, 8.0]))
+        bins = binner.transform([0.5, 2.5, 5.0, 7.9])
+        np.testing.assert_array_equal(bins, [0, 1, 2, 3])
+
+    def test_out_of_range_clamped_to_outer_bins(self):
+        binner = AttributeBinner(n_bins=3, strategy="uniform")
+        binner.fit(np.array([0.0, 3.0]))
+        bins = binner.transform([-10.0, 10.0])
+        np.testing.assert_array_equal(bins, [0, 2])
+
+    def test_degenerate_sample(self):
+        binner = AttributeBinner(n_bins=3, strategy="uniform")
+        binner.fit([5.0, 5.0])
+        assert binner.transform([5.0])[0] in (0, 1, 2)
+
+
+class TestApiContract:
+    def test_not_fitted_raises(self):
+        binner = AttributeBinner()
+        with pytest.raises(NotFittedError):
+            binner.transform([1.0])
+        with pytest.raises(NotFittedError):
+            _ = binner.edges
+        with pytest.raises(NotFittedError):
+            _ = binner.n_effective_bins
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValidationError):
+            AttributeBinner(n_bins=1)
+        with pytest.raises(ValidationError, match="strategy"):
+            AttributeBinner(strategy="kmeans")
+
+    def test_consistent_research_archive_edges(self, rng):
+        research_values = rng.normal(size=1000)
+        archive_values = rng.normal(size=5000)
+        binner = AttributeBinner(n_bins=3).fit(research_values)
+        research_bins = binner.transform(research_values)
+        archive_bins = binner.transform(archive_values)
+        # Same edges: a value maps identically wherever it appears.
+        probe = np.array([-1.0, 0.0, 1.0])
+        np.testing.assert_array_equal(binner.transform(probe),
+                                      binner.transform(probe))
+        assert set(np.unique(research_bins)) <= {0, 1, 2}
+        assert set(np.unique(archive_bins)) <= {0, 1, 2}
+
+
+class TestBinDataset:
+    def test_replaces_u(self, rng):
+        n = 200
+        data = FairnessDataset(rng.normal(size=(n, 2)),
+                               rng.integers(0, 2, n),
+                               np.zeros(n, dtype=int))
+        income = rng.gamma(2.0, 10.0, size=n)
+        binner = AttributeBinner(n_bins=3).fit(income)
+        binned = binner.bin_dataset(data, income)
+        assert set(np.unique(binned.u)) <= {0, 1, 2}
+        np.testing.assert_array_equal(binned.s, data.s)
+        np.testing.assert_allclose(binned.features, data.features)
+
+    def test_length_mismatch_rejected(self, rng):
+        data = FairnessDataset(rng.normal(size=(5, 1)),
+                               rng.integers(0, 2, 5),
+                               np.zeros(5, dtype=int))
+        binner = AttributeBinner(n_bins=2).fit(rng.normal(size=5))
+        with pytest.raises(ValidationError, match="values for"):
+            binner.bin_dataset(data, rng.normal(size=7))
+
+    def test_end_to_end_repair_with_binned_u(self, rng):
+        # Continuous u -> bins -> full repair cycle (paper Section VI).
+        from repro.core.repair import DistributionalRepairer
+        n = 1200
+        s = rng.integers(0, 2, n)
+        continuous_u = rng.normal(size=n)
+        x = (rng.normal(size=(n, 1)) + 1.2 * s[:, None]
+             + 0.8 * continuous_u[:, None])
+        data = FairnessDataset(x, s, np.zeros(n, dtype=int))
+        binner = AttributeBinner(n_bins=3).fit(continuous_u)
+        binned = binner.bin_dataset(data, continuous_u)
+        split = binned.split(n_research=400, rng=rng)
+        repairer = DistributionalRepairer(n_states=25, rng=0)
+        repaired = repairer.fit(split.research).transform(split.archive)
+        from repro.metrics.fairness import conditional_dependence_energy
+        before = conditional_dependence_energy(
+            split.archive.features, split.archive.s,
+            split.archive.u).total
+        after = conditional_dependence_energy(
+            repaired.features, repaired.s, repaired.u).total
+        assert after < before

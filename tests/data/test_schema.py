@@ -1,0 +1,94 @@
+"""Tests for column schemas."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.schema import ColumnSpec, TableSchema
+from repro.exceptions import SchemaError
+
+
+class TestColumnSpec:
+    def test_defaults(self):
+        spec = ColumnSpec("age")
+        assert spec.kind == "continuous"
+        assert spec.low is None and spec.high is None
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError, match="non-empty"):
+            ColumnSpec("")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SchemaError, match="kind"):
+            ColumnSpec("x", kind="categorical")
+
+    def test_inverted_bounds_rejected(self):
+        with pytest.raises(SchemaError, match="low"):
+            ColumnSpec("x", low=5.0, high=1.0)
+
+    def test_validate_bounds(self):
+        spec = ColumnSpec("x", low=0.0, high=10.0)
+        spec.validate_values([0.0, 5.0, 10.0])
+        with pytest.raises(SchemaError, match="below"):
+            spec.validate_values([-1.0])
+        with pytest.raises(SchemaError, match="above"):
+            spec.validate_values([11.0])
+
+    def test_validate_binary(self):
+        spec = ColumnSpec("flag", kind="binary")
+        spec.validate_values([0.0, 1.0, 1.0])
+        with pytest.raises(SchemaError, match="binary"):
+            spec.validate_values([0.5])
+
+    def test_validate_nonfinite(self):
+        with pytest.raises(SchemaError, match="non-finite"):
+            ColumnSpec("x").validate_values([np.nan])
+
+
+class TestTableSchema:
+    def test_from_names(self):
+        schema = TableSchema.from_names(["a", "b"])
+        assert schema.feature_names == ("a", "b")
+        assert schema.n_features == 2
+        assert schema.protected == "s"
+        assert schema.unprotected == "u"
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError, match="duplicate"):
+            TableSchema.from_names(["a", "a"])
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(SchemaError, match="at least one"):
+            TableSchema(features=())
+
+    def test_attribute_name_clash_rejected(self):
+        with pytest.raises(SchemaError, match="clash"):
+            TableSchema.from_names(["s", "x"])
+
+    def test_same_attribute_names_rejected(self):
+        with pytest.raises(SchemaError, match="must differ"):
+            TableSchema.from_names(["x"], protected="p", unprotected="p")
+
+    def test_feature_index(self):
+        schema = TableSchema.from_names(["age", "hours"])
+        assert schema.feature_index("hours") == 1
+        with pytest.raises(SchemaError, match="unknown feature"):
+            schema.feature_index("salary")
+
+    def test_validate_matrix_arity(self):
+        schema = TableSchema.from_names(["a", "b"])
+        schema.validate_matrix(np.zeros((3, 2)))
+        with pytest.raises(SchemaError, match="incompatible"):
+            schema.validate_matrix(np.zeros((3, 3)))
+
+    def test_validate_matrix_column_bounds(self):
+        schema = TableSchema(features=(ColumnSpec("a", low=0.0),
+                                       ColumnSpec("b")))
+        schema.validate_matrix(np.array([[1.0, -5.0]]))
+        with pytest.raises(SchemaError, match="below"):
+            schema.validate_matrix(np.array([[-1.0, 0.0]]))
+
+    def test_non_columnspec_rejected(self):
+        with pytest.raises(SchemaError, match="ColumnSpec"):
+            TableSchema(features=("age",))

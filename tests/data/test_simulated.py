@@ -1,0 +1,143 @@
+"""Tests for the paper's simulation generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.simulated import (GaussianMixtureSpec,
+                                  paper_simulation_spec,
+                                  simulate_paper_data)
+from repro.exceptions import ValidationError
+
+
+class TestPaperSpec:
+    def test_paper_defaults(self):
+        spec = paper_simulation_spec()
+        np.testing.assert_allclose(spec.means[(0, 0)], [-1.0, -1.0])
+        np.testing.assert_allclose(spec.means[(1, 0)], [1.0, 1.0])
+        np.testing.assert_allclose(spec.means[(0, 1)], [0.0, 0.0])
+        assert spec.p_u0 == 0.5
+        assert spec.p_s0_given_u == {0: 0.3, 1: 0.1}
+
+    def test_separation_scaling(self):
+        spec = paper_simulation_spec(separation=2.0)
+        np.testing.assert_allclose(spec.means[(0, 0)], [-2.0, -2.0])
+        np.testing.assert_allclose(spec.means[(0, 1)], [0.0, 0.0])
+
+    def test_group_probabilities(self):
+        spec = paper_simulation_spec()
+        assert spec.group_probability(0, 0) == pytest.approx(0.15)
+        assert spec.group_probability(0, 1) == pytest.approx(0.35)
+        assert spec.group_probability(1, 0) == pytest.approx(0.05)
+        assert spec.group_probability(1, 1) == pytest.approx(0.45)
+        total = sum(spec.group_probability(u, s)
+                    for u in (0, 1) for s in (0, 1))
+        assert total == pytest.approx(1.0)
+
+    def test_exact_group_dependence(self):
+        # symKL between N(±delta, I) components: 0.5 * delta' delta.
+        spec = paper_simulation_spec()
+        oracle = spec.exact_group_dependence()
+        assert oracle[0] == pytest.approx(1.0)  # delta = [-1,-1]
+        assert oracle[1] == pytest.approx(1.0)
+
+    def test_negative_separation_rejected(self):
+        with pytest.raises(ValidationError):
+            paper_simulation_spec(separation=-1.0)
+
+
+class TestSampling:
+    def test_sample_shape_and_labels(self, rng):
+        spec = paper_simulation_spec()
+        data = spec.sample(1000, rng=rng)
+        assert len(data) == 1000
+        assert data.n_features == 2
+        assert set(np.unique(data.s)) <= {0, 1}
+        assert set(np.unique(data.u)) <= {0, 1}
+
+    def test_group_frequencies_match_priors(self, rng):
+        spec = paper_simulation_spec()
+        data = spec.sample(20_000, rng=rng)
+        assert np.mean(data.u == 0) == pytest.approx(0.5, abs=0.02)
+        u0 = data.s[data.u == 0]
+        u1 = data.s[data.u == 1]
+        assert np.mean(u0 == 0) == pytest.approx(0.3, abs=0.02)
+        assert np.mean(u1 == 0) == pytest.approx(0.1, abs=0.02)
+
+    def test_conditional_means(self, rng):
+        spec = paper_simulation_spec()
+        data = spec.sample(20_000, rng=rng)
+        group = data.group(0, 0)
+        np.testing.assert_allclose(group.features.mean(axis=0),
+                                   [-1.0, -1.0], atol=0.1)
+        group = data.group(1, 0)
+        np.testing.assert_allclose(group.features.mean(axis=0),
+                                   [1.0, 1.0], atol=0.15)
+
+    def test_outcome_rule_applied(self, rng):
+        spec = paper_simulation_spec()
+        data = spec.sample(100, rng=rng,
+                           outcome_rule=lambda x: x[:, 0] > 0)
+        assert data.y is not None
+        np.testing.assert_array_equal(data.y,
+                                      (data.features[:, 0] > 0).astype(int))
+
+    def test_custom_covariance(self, rng):
+        spec = GaussianMixtureSpec(
+            means={(0, 0): [0.0], (0, 1): [0.0],
+                   (1, 0): [0.0], (1, 1): [0.0]},
+            p_u0=0.5, p_s0_given_u={0: 0.5, 1: 0.5},
+            covariances={(0, 0): [[25.0]]})
+        data = spec.sample(20_000, rng=rng)
+        wide = data.group(0, 0).features.std()
+        narrow = data.group(0, 1).features.std()
+        assert wide == pytest.approx(5.0, rel=0.1)
+        assert narrow == pytest.approx(1.0, rel=0.1)
+
+    def test_deterministic_with_seed(self):
+        spec = paper_simulation_spec()
+        a = spec.sample(50, rng=3)
+        b = spec.sample(50, rng=3)
+        np.testing.assert_allclose(a.features, b.features)
+
+
+class TestSpecValidation:
+    def test_missing_group_mean_rejected(self):
+        with pytest.raises(ValidationError, match="four"):
+            GaussianMixtureSpec(means={(0, 0): [0.0]}, p_u0=0.5,
+                                p_s0_given_u={0: 0.5, 1: 0.5})
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(ValidationError, match="dimension"):
+            GaussianMixtureSpec(
+                means={(0, 0): [0.0], (0, 1): [0.0, 1.0],
+                       (1, 0): [0.0], (1, 1): [0.0]},
+                p_u0=0.5, p_s0_given_u={0: 0.5, 1: 0.5})
+
+    def test_missing_prior_rejected(self):
+        with pytest.raises(ValidationError, match="missing group"):
+            GaussianMixtureSpec(
+                means={(0, 0): [0.0], (0, 1): [0.0],
+                       (1, 0): [0.0], (1, 1): [0.0]},
+                p_u0=0.5, p_s0_given_u={0: 0.5})
+
+    def test_bad_covariance_shape_rejected(self):
+        with pytest.raises(ValidationError, match="covariance"):
+            GaussianMixtureSpec(
+                means={(0, 0): [0.0], (0, 1): [0.0],
+                       (1, 0): [0.0], (1, 1): [0.0]},
+                p_u0=0.5, p_s0_given_u={0: 0.5, 1: 0.5},
+                covariances={(0, 0): np.eye(3)})
+
+
+class TestSimulatePaperData:
+    def test_default_split_sizes(self, rng):
+        split = simulate_paper_data(rng=rng)
+        assert split.n_research == 500
+        assert split.n_archive == 5000
+
+    def test_custom_sizes(self, rng):
+        split = simulate_paper_data(100, 900, rng=rng)
+        assert split.n_research == 100
+        assert split.n_archive == 900

@@ -1,0 +1,70 @@
+"""Tests for archival streaming."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import FairnessDataset
+from repro.data.simulated import paper_simulation_spec
+from repro.data.streaming import ArchiveStream, stream_batches
+from repro.exceptions import ValidationError
+
+
+class TestStreamBatches:
+    def test_batch_sizes(self, small_dataset):
+        batches = list(stream_batches(small_dataset, 100))
+        assert [len(b) for b in batches] == [100, 100, 40]
+
+    def test_order_preserved(self, small_dataset):
+        batches = list(stream_batches(small_dataset, 64))
+        rebuilt = np.vstack([b.features for b in batches])
+        np.testing.assert_allclose(rebuilt, small_dataset.features)
+
+    def test_single_giant_batch(self, small_dataset):
+        batches = list(stream_batches(small_dataset, 10_000))
+        assert len(batches) == 1
+        assert len(batches[0]) == len(small_dataset)
+
+    def test_invalid_batch_size(self, small_dataset):
+        with pytest.raises(ValidationError):
+            list(stream_batches(small_dataset, 0))
+
+
+class TestArchiveStream:
+    def test_dataset_source(self, small_dataset):
+        stream = ArchiveStream(small_dataset, batch_size=50)
+        batches = list(stream)
+        assert sum(len(b) for b in batches) == len(small_dataset)
+
+    def test_dataset_source_respects_max_batches(self, small_dataset):
+        stream = ArchiveStream(small_dataset, batch_size=50, max_batches=2)
+        assert len(list(stream)) == 2
+
+    def test_reiterable_dataset_stream(self, small_dataset):
+        stream = ArchiveStream(small_dataset, batch_size=100)
+        assert len(list(stream)) == len(list(stream))
+
+    def test_callable_source(self, rng):
+        spec = paper_simulation_spec()
+
+        def feed():
+            return spec.sample(32, rng=rng)
+
+        stream = ArchiveStream(feed, max_batches=5)
+        batches = list(stream)
+        assert len(batches) == 5
+        assert all(len(b) == 32 for b in batches)
+
+    def test_callable_requires_max_batches(self):
+        with pytest.raises(ValidationError, match="max_batches"):
+            ArchiveStream(lambda: None)
+
+    def test_callable_must_return_dataset(self):
+        stream = ArchiveStream(lambda: "nope", max_batches=1)
+        with pytest.raises(ValidationError, match="FairnessDataset"):
+            list(stream)
+
+    def test_invalid_source_type(self):
+        with pytest.raises(ValidationError, match="source"):
+            ArchiveStream([1, 2, 3])

@@ -1,0 +1,72 @@
+"""Tests for bandwidth selectors."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.density.bandwidth import (scott_bandwidth, select_bandwidth,
+                                     silverman_bandwidth)
+from repro.exceptions import ValidationError
+
+
+class TestSilverman:
+    def test_known_value_classic(self):
+        # For sigma=1, n=100: h = 1.06 * 1 * 100^(-0.2).
+        rng = np.random.default_rng(0)
+        xs = rng.normal(size=100)
+        expected = 1.06 * np.std(xs, ddof=1) * 100 ** (-0.2)
+        assert silverman_bandwidth(xs, robust=False) == pytest.approx(
+            expected)
+
+    def test_robust_uses_min_of_spreads(self):
+        rng = np.random.default_rng(1)
+        xs = rng.normal(size=200)
+        xs[:5] = 100.0  # outliers inflate sigma but not IQR
+        robust = silverman_bandwidth(xs, robust=True)
+        classic = silverman_bandwidth(xs, robust=False)
+        assert robust < classic
+
+    def test_shrinks_with_sample_size(self, rng):
+        xs = rng.normal(size=1000)
+        h_small = silverman_bandwidth(xs[:50])
+        h_large = silverman_bandwidth(xs)
+        assert h_large < h_small
+
+    def test_degenerate_sample_positive_floor(self):
+        assert silverman_bandwidth([5.0, 5.0, 5.0]) > 0.0
+
+    def test_single_point_positive(self):
+        assert silverman_bandwidth([1.0]) > 0.0
+
+
+class TestScott:
+    def test_scott_formula(self, rng):
+        xs = rng.normal(size=64)
+        expected = np.std(xs, ddof=1) * 64 ** (-0.2)
+        assert scott_bandwidth(xs) == pytest.approx(expected)
+
+    def test_scott_exceeds_robust_silverman_on_normal(self, rng):
+        xs = rng.normal(size=500)
+        assert scott_bandwidth(xs) > silverman_bandwidth(xs)
+
+
+class TestSelect:
+    def test_dispatch_silverman(self, rng):
+        xs = rng.normal(size=30)
+        assert select_bandwidth(xs, "silverman") == pytest.approx(
+            silverman_bandwidth(xs, robust=True))
+
+    def test_dispatch_classic(self, rng):
+        xs = rng.normal(size=30)
+        assert select_bandwidth(xs, "silverman-classic") == pytest.approx(
+            silverman_bandwidth(xs, robust=False))
+
+    def test_dispatch_scott(self, rng):
+        xs = rng.normal(size=30)
+        assert select_bandwidth(xs, "scott") == pytest.approx(
+            scott_bandwidth(xs))
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValidationError, match="unknown bandwidth"):
+            select_bandwidth([1.0, 2.0], "oracle")

@@ -1,0 +1,135 @@
+"""Tests for interpolation grids (Algorithm 1 line 4 and Algorithm 2's cell
+arithmetic)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.density.grid import InterpolationGrid, uniform_grid
+from repro.exceptions import ValidationError
+
+
+class TestUniformGrid:
+    def test_spans_sample_range(self, rng):
+        xs = rng.normal(size=50)
+        grid = uniform_grid(xs, 10)
+        assert grid[0] == pytest.approx(xs.min())
+        assert grid[-1] == pytest.approx(xs.max())
+        assert grid.size == 10
+
+    def test_uniform_spacing(self, rng):
+        grid = uniform_grid(rng.normal(size=30), 17)
+        spacings = np.diff(grid)
+        np.testing.assert_allclose(spacings, spacings[0])
+
+    def test_matches_paper_formula(self):
+        # Line 4: ζ_i = (nQ-i)/(nQ-1) min + (i-1)/(nQ-1) max, i = 1..nQ.
+        xs = [2.0, 10.0]
+        n_q = 5
+        grid = uniform_grid(xs, n_q)
+        expected = [((n_q - i) * 2.0 + (i - 1) * 10.0) / (n_q - 1)
+                    for i in range(1, n_q + 1)]
+        np.testing.assert_allclose(grid, expected)
+
+    def test_padding_widens_range(self):
+        grid = uniform_grid([0.0, 10.0], 11, padding=0.1)
+        assert grid[0] == pytest.approx(-1.0)
+        assert grid[-1] == pytest.approx(11.0)
+
+    def test_degenerate_sample_widened(self):
+        grid = uniform_grid([3.0, 3.0], 5)
+        assert grid[0] < 3.0 < grid[-1]
+
+    def test_negative_padding_rejected(self):
+        with pytest.raises(ValidationError, match="padding"):
+            uniform_grid([0.0, 1.0], 5, padding=-0.1)
+
+    def test_too_few_states_rejected(self):
+        with pytest.raises(ValidationError):
+            uniform_grid([0.0, 1.0], 1)
+
+
+class TestInterpolationGrid:
+    def test_from_samples(self, rng):
+        xs = rng.normal(size=40)
+        grid = InterpolationGrid.from_samples(xs, 25)
+        assert grid.n_states == 25
+        assert grid.low == pytest.approx(xs.min())
+        assert grid.high == pytest.approx(xs.max())
+
+    def test_spacing(self):
+        grid = InterpolationGrid(np.linspace(0.0, 10.0, 11))
+        assert grid.spacing == pytest.approx(1.0)
+
+    def test_non_increasing_rejected(self):
+        with pytest.raises(ValidationError, match="strictly increasing"):
+            InterpolationGrid(np.array([0.0, 0.0, 1.0]))
+
+    def test_single_node_rejected(self):
+        with pytest.raises(ValidationError, match="two nodes"):
+            InterpolationGrid(np.array([1.0]))
+
+
+class TestLocate:
+    @pytest.fixture
+    def grid(self):
+        return InterpolationGrid(np.array([0.0, 1.0, 2.0, 3.0]))
+
+    def test_interior_point(self, grid):
+        idx, tau = grid.locate([1.25])
+        assert idx[0] == 1
+        assert tau[0] == pytest.approx(0.25)
+
+    def test_on_node(self, grid):
+        idx, tau = grid.locate([2.0])
+        assert idx[0] == 2
+        assert tau[0] == pytest.approx(0.0)
+
+    def test_last_node_maps_to_final_cell(self, grid):
+        idx, tau = grid.locate([3.0])
+        assert idx[0] == 2
+        assert tau[0] == pytest.approx(1.0)
+
+    def test_below_range_clipped(self, grid):
+        idx, tau = grid.locate([-7.0])
+        assert idx[0] == 0
+        assert tau[0] == pytest.approx(0.0)
+
+    def test_above_range_clipped(self, grid):
+        idx, tau = grid.locate([99.0])
+        assert idx[0] == 2
+        assert tau[0] == pytest.approx(1.0)
+
+    def test_vectorised(self, grid, rng):
+        xs = rng.uniform(-1.0, 4.0, size=100)
+        idx, tau = grid.locate(xs)
+        assert idx.shape == tau.shape == xs.shape
+        assert np.all((idx >= 0) & (idx <= 2))
+        assert np.all((tau >= 0.0) & (tau <= 1.0))
+
+    def test_reconstruction_identity_for_interior(self, grid, rng):
+        # ζ_q + τ (ζ_{q+1} - ζ_q) must reconstruct interior values.
+        xs = rng.uniform(0.0, 3.0, size=50)
+        idx, tau = grid.locate(xs)
+        rebuilt = grid.nodes[idx] + tau * (grid.nodes[idx + 1]
+                                           - grid.nodes[idx])
+        np.testing.assert_allclose(rebuilt, xs, atol=1e-12)
+
+    def test_nan_rejected(self, grid):
+        with pytest.raises(ValidationError, match="non-finite"):
+            grid.locate([np.nan])
+
+
+class TestCoverage:
+    def test_full_coverage(self):
+        grid = InterpolationGrid(np.array([0.0, 1.0]))
+        assert grid.coverage([0.0, 0.5, 1.0]) == pytest.approx(1.0)
+
+    def test_partial_coverage(self):
+        grid = InterpolationGrid(np.array([0.0, 1.0]))
+        assert grid.coverage([-1.0, 0.5, 2.0, 0.1]) == pytest.approx(0.5)
+
+    def test_empty_input_full_coverage(self):
+        grid = InterpolationGrid(np.array([0.0, 1.0]))
+        assert grid.coverage(np.array([])) == 1.0

@@ -1,0 +1,70 @@
+"""Tests for histogram density estimation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy import integrate
+
+from repro.density.histogram import HistogramDensity, histogram_pmf
+from repro.exceptions import ValidationError
+
+
+class TestHistogramPmf:
+    def test_normalised(self, rng):
+        xs = rng.normal(size=100)
+        grid = np.linspace(-4, 4, 21)
+        pmf = histogram_pmf(xs, grid)
+        assert pmf.sum() == pytest.approx(1.0)
+
+    def test_nearest_node_assignment(self):
+        grid = np.array([0.0, 1.0, 2.0])
+        pmf = histogram_pmf([0.1, 0.9, 1.1, 1.9], grid)
+        np.testing.assert_allclose(pmf, [0.25, 0.5, 0.25])
+
+    def test_all_mass_one_node(self):
+        grid = np.array([0.0, 1.0, 2.0])
+        pmf = histogram_pmf([1.0, 1.0, 1.0], grid)
+        np.testing.assert_allclose(pmf, [0.0, 1.0, 0.0])
+
+    def test_out_of_range_clipped_to_ends(self):
+        grid = np.array([0.0, 1.0])
+        pmf = histogram_pmf([-10.0, 10.0], grid)
+        np.testing.assert_allclose(pmf, [0.5, 0.5])
+
+    def test_bad_grid_rejected(self):
+        with pytest.raises(ValidationError):
+            histogram_pmf([0.5], [1.0, 0.0])
+
+
+class TestHistogramDensity:
+    def test_pdf_integrates_to_one(self, rng):
+        xs = rng.normal(size=400)
+        density = HistogramDensity(xs, n_bins=24)
+        grid = np.linspace(xs.min(), xs.max(), 3001)
+        integral = integrate.trapezoid(density.pdf(grid), grid)
+        assert integral == pytest.approx(1.0, rel=0.02)
+
+    def test_zero_outside_range(self, rng):
+        density = HistogramDensity(rng.uniform(0, 1, size=50), n_bins=8)
+        assert density.pdf([-1.0])[0] == 0.0
+        assert density.pdf([2.0])[0] == 0.0
+
+    def test_right_edge_belongs_to_last_bin(self, rng):
+        xs = rng.uniform(0, 1, size=50)
+        density = HistogramDensity(xs, n_bins=5)
+        assert density.pdf([density.edges[-1]])[0] > 0.0
+
+    def test_degenerate_sample(self):
+        density = HistogramDensity([2.0, 2.0], n_bins=4)
+        assert density.pdf([2.0])[0] > 0.0
+
+    def test_edges_cover_range(self, rng):
+        xs = rng.normal(size=64)
+        density = HistogramDensity(xs, n_bins=10)
+        assert density.edges[0] == pytest.approx(xs.min())
+        assert density.edges[-1] == pytest.approx(xs.max())
+
+    def test_invalid_bins_rejected(self, rng):
+        with pytest.raises(ValidationError):
+            HistogramDensity(rng.normal(size=10), n_bins=0)

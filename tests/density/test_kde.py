@@ -1,0 +1,127 @@
+"""Tests for Gaussian KDE (paper Eqs. 11-12)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy import integrate
+
+from repro.density.kde import GaussianKDE, gaussian_kernel, interpolate_pmf
+from repro.exceptions import ValidationError
+
+
+class TestKernel:
+    def test_integrates_to_one(self):
+        xs = np.linspace(-40, 40, 16001)
+        for h in (0.3, 1.0, 2.5):
+            integral = integrate.trapezoid(gaussian_kernel(xs, h), xs)
+            assert integral == pytest.approx(1.0, rel=1e-6)
+
+    def test_symmetry(self):
+        assert gaussian_kernel(1.5, 1.0) == pytest.approx(
+            gaussian_kernel(-1.5, 1.0))
+
+    def test_peak_at_zero(self):
+        xs = np.linspace(-3, 3, 101)
+        values = gaussian_kernel(xs, 0.7)
+        assert np.argmax(values) == 50
+
+    def test_nonpositive_bandwidth_rejected(self):
+        with pytest.raises(ValidationError, match="bandwidth"):
+            gaussian_kernel(0.0, 0.0)
+
+
+class TestInterpolatePmf:
+    def test_normalised(self, rng):
+        xs = rng.normal(size=80)
+        grid = np.linspace(-4, 4, 50)
+        pmf = interpolate_pmf(xs, grid)
+        assert pmf.sum() == pytest.approx(1.0)
+        assert np.all(pmf >= 0.0)
+
+    def test_mass_concentrates_near_data(self, rng):
+        xs = rng.normal(loc=2.0, scale=0.3, size=100)
+        grid = np.linspace(-5, 5, 101)
+        pmf = interpolate_pmf(xs, grid)
+        peak = grid[np.argmax(pmf)]
+        assert abs(peak - 2.0) < 0.5
+
+    def test_explicit_bandwidth_honoured(self, rng):
+        xs = rng.normal(size=50)
+        grid = np.linspace(-3, 3, 61)
+        narrow = interpolate_pmf(xs, grid, bandwidth=0.05)
+        wide = interpolate_pmf(xs, grid, bandwidth=2.0)
+        # Narrow bandwidth -> spikier pmf -> higher max.
+        assert narrow.max() > wide.max()
+
+    def test_recovers_gaussian_shape(self, rng):
+        xs = rng.normal(size=3000)
+        grid = np.linspace(-3, 3, 121)
+        pmf = interpolate_pmf(xs, grid)
+        truth = np.exp(-0.5 * grid ** 2)
+        truth = truth / truth.sum()
+        assert np.max(np.abs(pmf - truth)) < 0.01
+
+    def test_underflow_falls_back_to_histogram(self):
+        # Bandwidth so small the kernel underflows at every grid node.
+        xs = np.array([0.5000001])
+        grid = np.linspace(0.0, 1.0, 11)
+        pmf = interpolate_pmf(xs, grid, bandwidth=1e-300)
+        assert pmf.sum() == pytest.approx(1.0)
+
+    def test_invalid_bandwidth_rejected(self, rng):
+        with pytest.raises(ValidationError, match="bandwidth"):
+            interpolate_pmf(rng.normal(size=10), np.linspace(0, 1, 5),
+                            bandwidth=-1.0)
+
+
+class TestGaussianKDE:
+    def test_pdf_integrates_to_one(self, rng):
+        kde = GaussianKDE(rng.normal(size=60))
+        xs = np.linspace(-8, 8, 2001)
+        integral = integrate.trapezoid(kde.pdf(xs), xs)
+        assert integral == pytest.approx(1.0, rel=1e-4)
+
+    def test_log_pdf_consistent(self, rng):
+        kde = GaussianKDE(rng.normal(size=40))
+        xs = np.linspace(-3, 3, 11)
+        np.testing.assert_allclose(np.exp(kde.log_pdf(xs)), kde.pdf(xs),
+                                   rtol=1e-9)
+
+    def test_log_pdf_stable_in_far_tail(self, rng):
+        kde = GaussianKDE(rng.normal(size=20), bandwidth=0.5)
+        value = kde.log_pdf([1e3])
+        assert np.isfinite(value).all()
+        assert value[0] < -1e5  # deep tail
+
+    def test_cdf_monotone_and_bounded(self, rng):
+        kde = GaussianKDE(rng.normal(size=30))
+        xs = np.linspace(-6, 6, 101)
+        cdf = kde.cdf(xs)
+        assert np.all(np.diff(cdf) >= 0.0)
+        assert cdf[0] >= 0.0 and cdf[-1] <= 1.0
+        assert cdf[-1] > 0.99
+
+    def test_sampling_matches_distribution(self, rng):
+        kde = GaussianKDE(rng.normal(loc=5.0, size=500))
+        draws = kde.sample(4000, rng=rng)
+        assert draws.mean() == pytest.approx(5.0, abs=0.15)
+
+    def test_sample_invalid_size(self, rng):
+        kde = GaussianKDE(rng.normal(size=10))
+        with pytest.raises(ValidationError, match="size"):
+            kde.sample(0)
+
+    def test_bandwidth_selection_default_silverman(self, rng):
+        xs = rng.normal(size=100)
+        kde = GaussianKDE(xs)
+        from repro.density.bandwidth import silverman_bandwidth
+        assert kde.bandwidth == pytest.approx(silverman_bandwidth(xs))
+
+    def test_pmf_on_grid_matches_interpolate(self, rng):
+        xs = rng.normal(size=50)
+        grid = np.linspace(-3, 3, 30)
+        kde = GaussianKDE(xs)
+        np.testing.assert_allclose(
+            kde.pmf_on_grid(grid),
+            interpolate_pmf(xs, grid, bandwidth=kde.bandwidth))

@@ -1,0 +1,87 @@
+"""Tests for the extension-study drivers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.extensions import (copula_biased_spec,
+                                          run_correlation_study,
+                                          run_monge_study, run_tradeoff)
+
+
+class TestTradeoff:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_tradeoff(n_research=300, n_archive=1500,
+                            amounts=(0.0, 0.5, 1.0), seed=3)
+
+    def test_damage_monotone(self, result):
+        assert result.is_monotone_damage()
+
+    def test_endpoints(self, result):
+        assert result.damages[0] == pytest.approx(0.0)
+        assert result.energies[-1] < result.energies[0]
+
+    def test_render(self, result):
+        text = result.render()
+        assert "lambda" in text and "damage" in text
+
+
+class TestCorrelationStudy:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_correlation_study(n_total=3000, n_research=1200,
+                                     seed=3)
+
+    def test_unrepaired_has_copula_bias(self, result):
+        assert result.corr_gaps["unrepaired"] > 1.0
+        assert result.sliced["unrepaired"] > 0.3
+
+    def test_per_feature_repair_blind(self, result):
+        assert (result.corr_gaps["per-feature"]
+                > 0.7 * result.corr_gaps["unrepaired"])
+
+    def test_joint_repair_removes_copula_bias(self, result):
+        assert (result.corr_gaps["joint"]
+                < 0.4 * result.corr_gaps["unrepaired"])
+        assert (result.sliced["joint"]
+                < 0.6 * result.sliced["unrepaired"])
+
+    def test_render(self, result):
+        assert "joint" in result.render()
+
+
+class TestMongeStudy:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_monge_study(n_research=400, n_archive=2000, seed=3)
+
+    def test_monge_is_individually_fair(self, result):
+        assert result.clone_spreads["monge"] == pytest.approx(0.0,
+                                                              abs=1e-12)
+
+    def test_kantorovich_splits_clones(self, result):
+        assert result.clone_spreads["kantorovich"] > 0.01
+
+    def test_group_fairness_comparable(self, result):
+        ratio = (result.energies["monge"]
+                 / max(result.energies["kantorovich"], 1e-12))
+        assert 0.05 < ratio < 20.0
+
+    def test_render(self, result):
+        text = result.render()
+        assert "monge" in text and "kantorovich" in text
+
+
+class TestCopulaSpec:
+    def test_marginals_identical_by_construction(self):
+        spec = copula_biased_spec(0.7)
+        data = spec.sample(6000, rng=0)
+        # Per-feature means/stds match across s within u.
+        for u in (0, 1):
+            for k in (0, 1):
+                v0 = data.features[data.group_mask(u, 0), k]
+                v1 = data.features[data.group_mask(u, 1), k]
+                assert abs(v0.mean() - v1.mean()) < 0.15
+                assert abs(v0.std() - v1.std()) < 0.15

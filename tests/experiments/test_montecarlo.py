@@ -1,0 +1,55 @@
+"""Tests for the Monte-Carlo harness."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.experiments.montecarlo import run_monte_carlo
+
+
+class TestRunMonteCarlo:
+    def test_summary_shapes(self):
+        summary = run_monte_carlo(
+            lambda g: np.array([g.random(), g.random()]), 10, rng=0)
+        assert summary.mean.shape == (2,)
+        assert summary.std.shape == (2,)
+        assert summary.samples.shape == (10, 2)
+        assert summary.n_repeats == 10
+
+    def test_deterministic_given_seed(self):
+        trial = lambda g: np.array([g.normal()])
+        a = run_monte_carlo(trial, 5, rng=42)
+        b = run_monte_carlo(trial, 5, rng=42)
+        np.testing.assert_allclose(a.samples, b.samples)
+
+    def test_independent_children(self):
+        # Different repetitions must see different randomness.
+        summary = run_monte_carlo(lambda g: np.array([g.random()]), 20,
+                                  rng=1)
+        assert np.unique(summary.samples).size == 20
+
+    def test_scalar_helper(self):
+        summary = run_monte_carlo(lambda g: np.array([1.0]), 4, rng=0)
+        mean, std = summary.scalar()
+        assert mean == pytest.approx(1.0)
+        assert std == pytest.approx(0.0)
+
+    def test_mean_converges(self):
+        summary = run_monte_carlo(lambda g: np.array([g.normal(3.0)]),
+                                  400, rng=7)
+        assert summary.mean[0] == pytest.approx(3.0, abs=0.2)
+
+    def test_single_repeat_zero_std(self):
+        summary = run_monte_carlo(lambda g: np.array([g.random()]), 1,
+                                  rng=0)
+        assert summary.std[0] == 0.0
+
+    def test_invalid_repeats_rejected(self):
+        with pytest.raises(ValidationError):
+            run_monte_carlo(lambda g: np.array([0.0]), 0)
+
+    def test_scalar_trial_output_promoted(self):
+        summary = run_monte_carlo(lambda g: 2.5, 3, rng=0)
+        assert summary.samples.shape == (3, 1)

@@ -1,0 +1,71 @@
+"""Tests for the ASCII reporting helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.reporting import (banner, format_mean_std,
+                                         format_series, format_table)
+
+
+class TestFormatMeanStd:
+    def test_with_std(self):
+        assert format_mean_std(1.23456, 0.1) == "1.235 ± 0.1"
+
+    def test_without_std(self):
+        assert format_mean_std(2.5) == "2.5"
+
+    def test_nan_std_suppressed(self):
+        assert format_mean_std(2.5, float("nan")) == "2.5"
+
+    def test_digits(self):
+        assert format_mean_std(1.23456, digits=2) == "1.2"
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        text = format_table(["a", "bb"], [["1", "2"], ["333", "4"]])
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        assert "a" in lines[0] and "bb" in lines[0]
+        assert set(lines[1]) <= {"-", "+"}
+
+    def test_title_prepended(self):
+        text = format_table(["x"], [["1"]], title="My table")
+        assert text.splitlines()[0] == "My table"
+
+    def test_column_alignment(self):
+        text = format_table(["col"], [["short"], ["a much longer cell"]])
+        lines = text.splitlines()
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1  # all lines padded to equal width
+
+    def test_non_string_cells_coerced(self):
+        text = format_table(["n"], [[42], [3.5]])
+        assert "42" in text and "3.5" in text
+
+
+class TestFormatSeries:
+    def test_series_rows(self):
+        text = format_series([1, 2], [0.5, 0.25], x_name="nQ",
+                             y_name="E")
+        assert "nQ" in text and "E" in text
+        assert "0.5" in text and "0.25" in text
+
+    def test_series_title(self):
+        text = format_series([1], [1.0], title="Figure X")
+        assert text.startswith("Figure X")
+
+
+class TestBanner:
+    def test_banner_shape(self):
+        text = banner("Hello")
+        lines = text.splitlines()
+        assert len(lines) == 3
+        assert lines[0] == lines[2] == "=" * 8
+        assert lines[1] == "Hello"
+
+    def test_banner_grows_with_text(self):
+        text = banner("A much longer headline")
+        lines = text.splitlines()
+        assert len(lines[0]) == len("A much longer headline")

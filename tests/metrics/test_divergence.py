@@ -1,0 +1,106 @@
+"""Tests for the divergence functions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.metrics.divergence import (hellinger_distance, js_divergence,
+                                      kl_divergence, symmetric_kl,
+                                      total_variation)
+
+
+@pytest.fixture
+def p_and_q(rng):
+    p = rng.dirichlet(np.ones(12))
+    q = rng.dirichlet(np.ones(12))
+    return p, q
+
+
+class TestKl:
+    def test_zero_for_identical(self, p_and_q):
+        p, _ = p_and_q
+        assert kl_divergence(p, p) == pytest.approx(0.0, abs=1e-12)
+
+    def test_nonnegative(self, p_and_q):
+        p, q = p_and_q
+        assert kl_divergence(p, q) >= 0.0
+
+    def test_asymmetric(self):
+        p = np.array([0.9, 0.1])
+        q = np.array([0.5, 0.5])
+        assert kl_divergence(p, q) != pytest.approx(kl_divergence(q, p))
+
+    def test_known_value(self):
+        p = np.array([0.75, 0.25])
+        q = np.array([0.5, 0.5])
+        expected = 0.75 * np.log(1.5) + 0.25 * np.log(0.5)
+        assert kl_divergence(p, q) == pytest.approx(expected)
+
+    def test_floor_keeps_finite_on_disjoint(self):
+        p = np.array([1.0, 0.0])
+        q = np.array([0.0, 1.0])
+        value = kl_divergence(p, q)
+        assert np.isfinite(value) and value > 10.0
+
+    def test_support_mismatch_rejected(self):
+        with pytest.raises(ValidationError, match="share a support"):
+            kl_divergence([0.5, 0.5], [0.3, 0.3, 0.4])
+
+    def test_invalid_floor_rejected(self):
+        with pytest.raises(ValidationError, match="floor"):
+            kl_divergence([0.5, 0.5], [0.5, 0.5], floor=2.0)
+
+
+class TestSymmetricKl:
+    def test_symmetry(self, p_and_q):
+        p, q = p_and_q
+        assert symmetric_kl(p, q) == pytest.approx(symmetric_kl(q, p))
+
+    def test_is_average_of_directed(self, p_and_q):
+        p, q = p_and_q
+        expected = 0.5 * (kl_divergence(p, q) + kl_divergence(q, p))
+        assert symmetric_kl(p, q) == pytest.approx(expected, rel=1e-9)
+
+    def test_zero_iff_identical(self, p_and_q):
+        p, q = p_and_q
+        assert symmetric_kl(p, p) == pytest.approx(0.0, abs=1e-12)
+        assert symmetric_kl(p, q) > 0.0
+
+    def test_gaussian_pmf_value(self):
+        # symKL between N(0,1) and N(d,1) is d^2/2; check on a fine grid.
+        grid = np.linspace(-8, 9, 4001)
+        delta = 1.5
+        p = np.exp(-0.5 * grid ** 2)
+        q = np.exp(-0.5 * (grid - delta) ** 2)
+        value = symmetric_kl(p / p.sum(), q / q.sum())
+        assert value == pytest.approx(delta ** 2 / 2.0, rel=0.01)
+
+
+class TestJsAndFriends:
+    def test_js_bounded_by_log2(self, p_and_q):
+        p, q = p_and_q
+        assert 0.0 <= js_divergence(p, q) <= np.log(2.0) + 1e-12
+
+    def test_js_max_for_disjoint(self):
+        value = js_divergence([1.0, 0.0], [0.0, 1.0])
+        assert value == pytest.approx(np.log(2.0), rel=1e-6)
+
+    def test_hellinger_bounds(self, p_and_q):
+        p, q = p_and_q
+        assert 0.0 <= hellinger_distance(p, q) <= 1.0
+        assert hellinger_distance(p, p) == pytest.approx(0.0, abs=1e-6)
+
+    def test_hellinger_max_for_disjoint(self):
+        assert hellinger_distance([1.0, 0.0], [0.0, 1.0]) == pytest.approx(
+            1.0, abs=1e-4)
+
+    def test_total_variation_half_l1(self, p_and_q):
+        p, q = p_and_q
+        assert total_variation(p, q) == pytest.approx(
+            0.5 * np.abs(p - q).sum())
+
+    def test_total_variation_bounds(self):
+        assert total_variation([1.0, 0.0], [0.0, 1.0]) == pytest.approx(1.0)
+        assert total_variation([0.5, 0.5], [0.5, 0.5]) == pytest.approx(0.0)

@@ -1,0 +1,115 @@
+"""Tests for the paper's conditional-dependence measure E."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.simulated import paper_simulation_spec
+from repro.exceptions import ValidationError
+from repro.metrics.fairness import (conditional_dependence_energy,
+                                    feature_dependence, group_dependence)
+
+
+class TestFeatureDependence:
+    def test_zero_for_same_distribution(self, rng):
+        xs = rng.normal(size=500)
+        ys = rng.normal(size=500)
+        value = feature_dependence(xs, ys)
+        assert value < 0.05
+
+    def test_grows_with_separation(self, rng):
+        base = rng.normal(size=400)
+        previous = 0.0
+        for shift in (0.5, 1.5, 3.0):
+            value = feature_dependence(base, base + shift)
+            assert value > previous
+            previous = value
+
+    def test_approximates_gaussian_symkl(self, rng):
+        # symKL(N(0,1), N(1,1)) = 0.5; KDE estimate should be in range.
+        xs = rng.normal(0.0, 1.0, size=4000)
+        ys = rng.normal(1.0, 1.0, size=4000)
+        value = feature_dependence(xs, ys, n_grid=200)
+        assert 0.3 < value < 0.9
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError, match="non-empty"):
+            feature_dependence(np.array([]), np.array([1.0]))
+
+    def test_symmetry(self, rng):
+        xs = rng.normal(size=100)
+        ys = rng.normal(1.0, 1.0, size=150)
+        assert feature_dependence(xs, ys) == pytest.approx(
+            feature_dependence(ys, xs))
+
+
+class TestGroupDependence:
+    def test_per_feature_vector(self, rng):
+        n = 300
+        s = rng.integers(0, 2, size=n)
+        x = np.column_stack([rng.normal(size=n) + 2.0 * s,
+                             rng.normal(size=n)])
+        energies = group_dependence(x, s)
+        assert energies.shape == (2,)
+        assert energies[0] > 5 * energies[1]
+
+    def test_single_class_rejected(self, rng):
+        x = rng.normal(size=(10, 2))
+        with pytest.raises(ValidationError, match="both protected groups"):
+            group_dependence(x, np.zeros(10))
+
+    def test_nonbinary_rejected(self, rng):
+        x = rng.normal(size=(4, 1))
+        with pytest.raises(ValidationError, match="binary"):
+            group_dependence(x, [0, 1, 2, 1])
+
+    def test_length_mismatch_rejected(self, rng):
+        with pytest.raises(ValidationError, match="mismatch"):
+            group_dependence(rng.normal(size=(5, 1)), [0, 1])
+
+
+class TestConditionalDependenceEnergy:
+    def test_report_structure(self, small_dataset):
+        report = conditional_dependence_energy(
+            small_dataset.features, small_dataset.s, small_dataset.u)
+        assert report.n_features == 2
+        assert set(report.per_group) == {0, 1}
+        assert set(report.group_weights) == {0, 1}
+        assert sum(report.group_weights.values()) == pytest.approx(1.0)
+        assert report.total == pytest.approx(report.per_feature.sum())
+
+    def test_weighted_aggregation(self, small_dataset):
+        report = conditional_dependence_energy(
+            small_dataset.features, small_dataset.s, small_dataset.u)
+        manual = np.zeros(2)
+        for u, energies in report.per_group.items():
+            manual += report.group_weights[u] * energies
+        np.testing.assert_allclose(report.per_feature, manual)
+
+    def test_fair_data_scores_near_zero(self, rng):
+        n = 2000
+        u = rng.integers(0, 2, size=n)
+        s = rng.integers(0, 2, size=n)
+        x = rng.normal(size=(n, 2)) + u[:, None]  # depends on u only
+        report = conditional_dependence_energy(x, s, u)
+        assert report.total < 0.1
+
+    def test_paper_spec_detects_unfairness(self, rng):
+        spec = paper_simulation_spec()
+        data = spec.sample(2000, rng=rng)
+        report = conditional_dependence_energy(data.features, data.s,
+                                               data.u)
+        # True symKL is 0.5 per (u, feature); estimator should clearly
+        # detect dependence.
+        assert report.total > 0.5
+
+    def test_feature_accessor(self, small_dataset):
+        report = conditional_dependence_energy(
+            small_dataset.features, small_dataset.s, small_dataset.u)
+        assert report.feature(0) == pytest.approx(report.per_feature[0])
+
+    def test_label_mismatch_rejected(self, rng):
+        with pytest.raises(ValidationError, match="mismatch"):
+            conditional_dependence_energy(rng.normal(size=(5, 1)),
+                                          [0, 1, 0], [0, 0, 1])

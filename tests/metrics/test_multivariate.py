@@ -1,0 +1,99 @@
+"""Tests for the multivariate dependence measures."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.simulated import GaussianMixtureSpec
+from repro.exceptions import ValidationError
+from repro.metrics.multivariate import correlation_gap, sliced_dependence
+
+
+@pytest.fixture
+def copula_biased_data():
+    """Same marginals in both protected classes, opposite correlation."""
+    rho = 0.8
+    spec = GaussianMixtureSpec(
+        means={(u, s): [0.0, 0.0] for u in (0, 1) for s in (0, 1)},
+        p_u0=0.5, p_s0_given_u={0: 0.4, 1: 0.4},
+        covariances={(0, 0): [[1, rho], [rho, 1]],
+                     (1, 0): [[1, rho], [rho, 1]],
+                     (0, 1): [[1, -rho], [-rho, 1]],
+                     (1, 1): [[1, -rho], [-rho, 1]]})
+    return spec.sample(3000, rng=0)
+
+
+class TestSlicedDependence:
+    def test_zero_for_fair_data(self, rng):
+        n = 2000
+        u = rng.integers(0, 2, n)
+        s = rng.integers(0, 2, n)
+        x = rng.normal(size=(n, 2)) + u[:, None]
+        value = sliced_dependence(x, s, u, rng=0)
+        # Finite-sample floor: empirical W between two ~500-point samples
+        # of the same law is O(n^-1/2), not zero.
+        assert value < 0.15
+
+    def test_detects_copula_bias(self, copula_biased_data):
+        data = copula_biased_data
+        value = sliced_dependence(data.features, data.s, data.u, rng=0)
+        assert value > 0.3
+
+    def test_detects_mean_shift(self, rng):
+        n = 2000
+        u = rng.integers(0, 2, n)
+        s = rng.integers(0, 2, n)
+        x = rng.normal(size=(n, 2)) + 2.0 * s[:, None]
+        value = sliced_dependence(x, s, u, rng=0)
+        assert value > 1.0
+
+    def test_deterministic(self, copula_biased_data):
+        data = copula_biased_data
+        a = sliced_dependence(data.features, data.s, data.u, rng=5)
+        b = sliced_dependence(data.features, data.s, data.u, rng=5)
+        assert a == b
+
+    def test_missing_class_rejected(self, rng):
+        x = rng.normal(size=(10, 2))
+        with pytest.raises(ValidationError, match="lacks"):
+            sliced_dependence(x, np.zeros(10, dtype=int),
+                              np.zeros(10, dtype=int))
+
+    def test_length_mismatch_rejected(self, rng):
+        with pytest.raises(ValidationError, match="mismatch"):
+            sliced_dependence(rng.normal(size=(5, 2)), [0, 1], [0, 1])
+
+
+class TestCorrelationGap:
+    def test_zero_for_shared_copula(self, rng):
+        n = 3000
+        u = rng.integers(0, 2, n)
+        s = rng.integers(0, 2, n)
+        z = rng.normal(size=(n, 2))
+        x = np.column_stack([z[:, 0], 0.7 * z[:, 0] + 0.3 * z[:, 1]])
+        gaps = correlation_gap(x, s, u)
+        assert all(v < 0.12 for v in gaps.values())
+
+    def test_detects_opposite_correlation(self, copula_biased_data):
+        data = copula_biased_data
+        gaps = correlation_gap(data.features, data.s, data.u)
+        assert all(v > 1.0 for v in gaps.values())  # +0.8 vs -0.8
+
+    def test_needs_two_features(self, rng):
+        with pytest.raises(ValidationError, match="two features"):
+            correlation_gap(rng.normal(size=(10, 1)),
+                            rng.integers(0, 2, 10),
+                            rng.integers(0, 2, 10))
+
+    def test_needs_minimum_rows(self, rng):
+        x = rng.normal(size=(4, 2))
+        with pytest.raises(ValidationError, match=">= 3 rows"):
+            correlation_gap(x, [0, 0, 0, 1], [0, 0, 0, 0])
+
+    def test_constant_feature_handled(self, rng):
+        n = 200
+        x = np.column_stack([np.ones(n), rng.normal(size=n)])
+        gaps = correlation_gap(x, rng.integers(0, 2, n),
+                               np.zeros(n, dtype=int))
+        assert np.isfinite(list(gaps.values())).all()

@@ -1,0 +1,79 @@
+"""Property-based tests for the metric invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.metrics.divergence import (hellinger_distance, js_divergence,
+                                      kl_divergence, symmetric_kl,
+                                      total_variation)
+
+
+def pmfs(n: int):
+    return arrays(np.float64, n,
+                  elements=st.floats(1e-6, 10.0, allow_nan=False))
+
+
+@given(p=pmfs(10), q=pmfs(10))
+@settings(max_examples=80, deadline=None)
+def test_kl_nonnegative(p, q):
+    assert kl_divergence(p, q) >= -1e-12
+
+
+@given(p=pmfs(10))
+@settings(max_examples=50, deadline=None)
+def test_kl_self_zero(p):
+    assert kl_divergence(p, p) == pytest.approx(0.0, abs=1e-10)
+
+
+@given(p=pmfs(8), q=pmfs(8))
+@settings(max_examples=80, deadline=None)
+def test_symmetric_kl_is_symmetric(p, q):
+    assert symmetric_kl(p, q) == pytest.approx(symmetric_kl(q, p),
+                                               rel=1e-9, abs=1e-12)
+
+
+@given(p=pmfs(8), q=pmfs(8))
+@settings(max_examples=80, deadline=None)
+def test_js_bounded(p, q):
+    assert -1e-12 <= js_divergence(p, q) <= np.log(2.0) + 1e-9
+
+
+@given(p=pmfs(8), q=pmfs(8))
+@settings(max_examples=80, deadline=None)
+def test_hellinger_bounded_and_symmetric(p, q):
+    h = hellinger_distance(p, q)
+    assert -1e-12 <= h <= 1.0 + 1e-12
+    assert h == pytest.approx(hellinger_distance(q, p), abs=1e-10)
+
+
+@given(p=pmfs(8), q=pmfs(8))
+@settings(max_examples=80, deadline=None)
+def test_tv_metric_properties(p, q):
+    tv = total_variation(p, q)
+    assert -1e-12 <= tv <= 1.0 + 1e-12
+    assert tv == pytest.approx(total_variation(q, p), abs=1e-12)
+    assert total_variation(p, p) == pytest.approx(0.0, abs=1e-12)
+
+
+@given(p=pmfs(8), q=pmfs(8), r=pmfs(8))
+@settings(max_examples=60, deadline=None)
+def test_tv_triangle_inequality(p, q, r):
+    d_pq = total_variation(p, q)
+    d_qr = total_variation(q, r)
+    d_pr = total_variation(p, r)
+    assert d_pr <= d_pq + d_qr + 1e-10
+
+
+@given(p=pmfs(8), q=pmfs(8))
+@settings(max_examples=60, deadline=None)
+def test_pinsker_inequality(p, q):
+    # KL(p||q) >= 2 TV(p, q)^2 (Pinsker); a strong cross-check of both.
+    kl = kl_divergence(p, q)
+    tv = total_variation(
+        np.asarray(p) / np.sum(p), np.asarray(q) / np.sum(q))
+    assert kl >= 2.0 * tv ** 2 - 1e-9

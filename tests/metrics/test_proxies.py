@@ -1,0 +1,133 @@
+"""Tests for the classical fairness proxies."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.metrics.proxies import (FOUR_FIFTHS, assess_classifier,
+                                   conditional_disparate_impact,
+                                   conditional_statistical_parity,
+                                   disparate_impact, disparate_treatment_gap,
+                                   equal_opportunity_difference,
+                                   statistical_parity_difference)
+
+
+class TestDisparateImpact:
+    def test_fair_classifier_di_one(self):
+        y = np.array([1, 0, 1, 0])
+        s = np.array([0, 0, 1, 1])
+        assert disparate_impact(y, s) == pytest.approx(1.0)
+
+    def test_known_ratio(self):
+        # Pr[y=1|s=0] = 0.25, Pr[y=1|s=1] = 0.75 -> DI = 1/3.
+        y = np.array([1, 0, 0, 0, 1, 1, 1, 0])
+        s = np.array([0, 0, 0, 0, 1, 1, 1, 1])
+        assert disparate_impact(y, s) == pytest.approx(1.0 / 3.0)
+
+    def test_zero_denominator_inf(self):
+        y = np.array([1, 1, 0, 0])
+        s = np.array([0, 0, 1, 1])
+        assert disparate_impact(y, s) == float("inf")
+
+    def test_both_zero_rates_is_fair(self):
+        y = np.zeros(4, dtype=int)
+        s = np.array([0, 0, 1, 1])
+        assert disparate_impact(y, s) == pytest.approx(1.0)
+
+    def test_missing_group_nan(self):
+        y = np.array([1, 0])
+        s = np.array([1, 1])
+        assert np.isnan(disparate_impact(y, s))
+
+    def test_nonbinary_rejected(self):
+        with pytest.raises(ValidationError, match="binary"):
+            disparate_impact([0, 2], [0, 1])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValidationError, match="mismatch"):
+            disparate_impact([0, 1, 1], [0, 1])
+
+
+class TestConditionalProxies:
+    def test_structural_bias_invisible_conditionally(self, rng):
+        # Outcome depends only on u; s correlates with u (structural).
+        n = 4000
+        u = rng.integers(0, 2, size=n)
+        s = (rng.random(n) < (0.3 + 0.4 * u)).astype(int)
+        y = (rng.random(n) < (0.2 + 0.6 * u)).astype(int)
+        marginal = disparate_impact(y, s)
+        conditional = conditional_disparate_impact(y, s, u)
+        # Marginal DI flags the structural association ...
+        assert abs(marginal - 1.0) > 0.05
+        # ... but within each u group the rule is fair.
+        for value in conditional.values():
+            assert value == pytest.approx(1.0, abs=0.15)
+
+    def test_conditional_statistical_parity_keys(self, rng):
+        y = rng.integers(0, 2, size=100)
+        s = rng.integers(0, 2, size=100)
+        u = rng.integers(0, 2, size=100)
+        parity = conditional_statistical_parity(y, s, u)
+        assert set(parity) == {0, 1}
+
+    def test_disparate_treatment_zero_for_fair(self):
+        y = np.array([1, 1, 0, 0, 1, 1, 0, 0])
+        s = np.array([0, 1, 0, 1, 0, 1, 0, 1])
+        u = np.array([0, 0, 0, 0, 1, 1, 1, 1])
+        assert disparate_treatment_gap(y, s, u) == pytest.approx(0.0)
+
+    def test_disparate_treatment_detects_gap(self):
+        # In u=0 the s=0 members always win, s=1 never.
+        y = np.array([1, 1, 0, 0])
+        s = np.array([0, 0, 1, 1])
+        u = np.zeros(4, dtype=int)
+        assert disparate_treatment_gap(y, s, u) == pytest.approx(0.5)
+
+
+class TestEqualOpportunity:
+    def test_zero_for_equal_tpr(self):
+        y = np.array([1, 0, 1, 0])
+        t = np.array([1, 1, 1, 1])
+        s = np.array([0, 0, 1, 1])
+        assert equal_opportunity_difference(y, t, s) == pytest.approx(0.0)
+
+    def test_detects_tpr_gap(self):
+        y = np.array([1, 1, 0, 0])
+        t = np.array([1, 1, 1, 1])
+        s = np.array([0, 0, 1, 1])
+        assert equal_opportunity_difference(y, t, s) == pytest.approx(1.0)
+
+
+class TestAssessment:
+    def test_bundles_all_proxies(self, rng):
+        y = rng.integers(0, 2, size=200)
+        s = rng.integers(0, 2, size=200)
+        u = rng.integers(0, 2, size=200)
+        assessment = assess_classifier(y, s, u)
+        assert np.isfinite(assessment.disparate_impact)
+        assert set(assessment.conditional_disparate_impact) == {0, 1}
+        assert np.isfinite(assessment.statistical_parity)
+        assert assessment.disparate_treatment >= 0.0
+
+    def test_four_fifths_rule(self):
+        y = np.array([1, 0, 1, 0])
+        s = np.array([0, 0, 1, 1])
+        assessment = assess_classifier(y, s, np.zeros(4, dtype=int))
+        assert assessment.passes_four_fifths
+
+    def test_four_fifths_fails_for_biased(self):
+        y = np.array([1, 1, 1, 1, 1, 0, 0, 0])
+        s = np.array([0, 0, 0, 0, 1, 1, 1, 1])
+        assessment = assess_classifier(y, s, np.zeros(8, dtype=int))
+        assert not assessment.passes_four_fifths
+        assert FOUR_FIFTHS == pytest.approx(0.8)
+
+    def test_four_fifths_symmetric(self):
+        # DI of 1.25 (favouring s=0) must also fail... 1.25 -> 1/1.25 = 0.8
+        # exactly on the boundary passes; 2.0 fails.
+        y = np.array([1, 1, 1, 1, 1, 1, 0, 0])
+        s = np.array([0, 0, 0, 0, 1, 1, 1, 1])
+        assessment = assess_classifier(y, s, np.zeros(8, dtype=int))
+        assert not assessment.passes_four_fifths

@@ -1,0 +1,149 @@
+"""Tests for Wasserstein barycentres and geodesics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.ot.barycenter import (barycenter_1d, geodesic_point_1d,
+                                 project_onto_grid, sinkhorn_barycenter)
+from repro.ot.cost import squared_euclidean_cost
+from repro.ot.onedim import wasserstein_1d
+
+
+def _grid_mean(grid, pmf):
+    return float(np.sum(np.asarray(grid) * np.asarray(pmf)))
+
+
+class TestGeodesicPoint:
+    def test_endpoints_recover_marginals(self, rng):
+        xs0 = rng.normal(-1.0, 1.0, size=40)
+        xs1 = rng.normal(2.0, 1.0, size=60)
+        w0 = np.full(40, 1 / 40)
+        w1 = np.full(60, 1 / 60)
+        atoms0, weights0 = geodesic_point_1d(xs0, w0, xs1, w1, t=0.0)
+        atoms1, weights1 = geodesic_point_1d(xs0, w0, xs1, w1, t=1.0)
+        assert wasserstein_1d(atoms0, weights0, xs0, w0) < 0.1
+        assert wasserstein_1d(atoms1, weights1, xs1, w1) < 0.1
+
+    def test_midpoint_mean_is_average(self, rng):
+        xs0 = rng.normal(-2.0, 0.5, size=100)
+        xs1 = rng.normal(4.0, 0.5, size=100)
+        w = np.full(100, 0.01)
+        atoms, weights = geodesic_point_1d(xs0, w, xs1, w, t=0.5)
+        mid_mean = float(np.sum(atoms * weights))
+        assert mid_mean == pytest.approx(
+            (xs0.mean() + xs1.mean()) / 2.0, abs=0.05)
+
+    def test_midpoint_equidistant(self, rng):
+        xs0 = rng.normal(-1.0, 1.0, size=80)
+        xs1 = rng.normal(1.0, 1.0, size=80)
+        w = np.full(80, 1 / 80)
+        atoms, weights = geodesic_point_1d(xs0, w, xs1, w, t=0.5,
+                                           n_levels=4096)
+        d0 = wasserstein_1d(atoms, weights, xs0, w, p=2)
+        d1 = wasserstein_1d(atoms, weights, xs1, w, p=2)
+        assert d0 == pytest.approx(d1, rel=0.05)
+
+    def test_invalid_t_rejected(self):
+        with pytest.raises(ValidationError):
+            geodesic_point_1d([0.0, 1.0], [0.5, 0.5],
+                              [0.0, 1.0], [0.5, 0.5], t=1.5)
+
+
+class TestProjectOntoGrid:
+    def test_atom_on_node_keeps_mass(self):
+        grid = np.array([0.0, 1.0, 2.0])
+        pmf = project_onto_grid([1.0], [1.0], grid)
+        np.testing.assert_allclose(pmf, [0.0, 1.0, 0.0])
+
+    def test_atom_between_nodes_splits_linearly(self):
+        grid = np.array([0.0, 1.0])
+        pmf = project_onto_grid([0.25], [1.0], grid)
+        np.testing.assert_allclose(pmf, [0.75, 0.25])
+
+    def test_mean_preserved_for_interior_atoms(self, rng):
+        grid = np.linspace(-3.0, 3.0, 31)
+        atoms = rng.uniform(-2.9, 2.9, size=50)
+        weights = rng.dirichlet(np.ones(50))
+        pmf = project_onto_grid(atoms, weights, grid)
+        assert _grid_mean(grid, pmf) == pytest.approx(
+            float(np.sum(atoms * weights)), abs=1e-9)
+
+    def test_out_of_range_atoms_clipped(self):
+        grid = np.array([0.0, 1.0])
+        pmf = project_onto_grid([-5.0, 6.0], [0.5, 0.5], grid)
+        np.testing.assert_allclose(pmf, [0.5, 0.5])
+
+    def test_normalised_output(self, rng):
+        grid = np.linspace(0.0, 1.0, 11)
+        pmf = project_onto_grid(rng.random(20), np.full(20, 0.05), grid)
+        assert pmf.sum() == pytest.approx(1.0)
+
+    def test_decreasing_grid_rejected(self):
+        with pytest.raises(ValidationError, match="increasing"):
+            project_onto_grid([0.5], [1.0], [1.0, 0.0])
+
+
+class TestBarycenter1d:
+    def test_identical_marginals_fixed_point(self, rng):
+        grid = np.linspace(-3, 3, 40)
+        pmf = np.exp(-0.5 * grid ** 2)
+        pmf = pmf / pmf.sum()
+        bary = barycenter_1d(grid, pmf, grid, pmf, grid, t=0.5)
+        # Barycentre of (µ, µ) is µ (up to quantisation error).
+        assert wasserstein_1d(grid, bary, grid, pmf) < 0.15
+
+    def test_midpoint_mean(self):
+        grid = np.linspace(0.0, 10.0, 101)
+        pmf0 = np.zeros(101)
+        pmf0[10] = 1.0  # atom at 1.0
+        pmf1 = np.zeros(101)
+        pmf1[90] = 1.0  # atom at 9.0
+        bary = barycenter_1d(grid, pmf0, grid, pmf1, grid, t=0.5)
+        assert _grid_mean(grid, bary) == pytest.approx(5.0, abs=0.05)
+
+    def test_t_parameter_moves_target(self):
+        grid = np.linspace(0.0, 10.0, 101)
+        pmf0 = np.zeros(101)
+        pmf0[0] = 1.0
+        pmf1 = np.zeros(101)
+        pmf1[100] = 1.0
+        quarter = barycenter_1d(grid, pmf0, grid, pmf1, grid, t=0.25)
+        assert _grid_mean(grid, quarter) == pytest.approx(2.5, abs=0.05)
+
+
+class TestSinkhornBarycenter:
+    def test_two_atoms_midpoint(self):
+        grid = np.linspace(0.0, 1.0, 21).reshape(-1, 1)
+        cost = squared_euclidean_cost(grid, grid)
+        mu = np.zeros(21)
+        mu[2] = 1.0
+        nu = np.zeros(21)
+        nu[18] = 1.0
+        bary = sinkhorn_barycenter(cost, [mu, nu], epsilon=0.05)
+        mean = float(np.sum(grid.ravel() * bary))
+        assert mean == pytest.approx(0.5, abs=0.05)
+
+    def test_weights_shift_barycenter(self):
+        grid = np.linspace(0.0, 1.0, 21).reshape(-1, 1)
+        cost = squared_euclidean_cost(grid, grid)
+        mu = np.zeros(21)
+        mu[0] = 1.0
+        nu = np.zeros(21)
+        nu[20] = 1.0
+        skewed = sinkhorn_barycenter(cost, [mu, nu], weights=[0.9, 0.1],
+                                     epsilon=0.05)
+        mean = float(np.sum(grid.ravel() * skewed))
+        assert mean < 0.35
+
+    def test_requires_two_marginals(self):
+        cost = np.zeros((3, 3))
+        with pytest.raises(ValidationError, match="at least two"):
+            sinkhorn_barycenter(cost, [np.full(3, 1 / 3)])
+
+    def test_rejects_non_square_cost(self):
+        with pytest.raises(ValidationError, match="square"):
+            sinkhorn_barycenter(np.zeros((2, 3)),
+                                [np.full(2, 0.5), np.full(2, 0.5)])

@@ -1,0 +1,88 @@
+"""Tests for ground-cost construction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.ot.cost import (cost_matrix, euclidean_cost, lp_cost,
+                           make_cost_function, squared_euclidean_cost)
+
+
+class TestSquaredEuclidean:
+    def test_matches_direct_computation(self, rng):
+        xs = rng.normal(size=(5, 3))
+        ys = rng.normal(size=(7, 3))
+        got = squared_euclidean_cost(xs, ys)
+        want = ((xs[:, None, :] - ys[None, :, :]) ** 2).sum(axis=2)
+        np.testing.assert_allclose(got, want, atol=1e-10)
+
+    def test_diagonal_zero_on_identical_supports(self, rng):
+        xs = rng.normal(size=(6, 2))
+        cost = squared_euclidean_cost(xs, xs)
+        np.testing.assert_allclose(np.diag(cost), 0.0, atol=1e-10)
+
+    def test_never_negative(self, rng):
+        xs = rng.normal(size=(20, 4)) * 1e6  # stress the expanded form
+        cost = squared_euclidean_cost(xs, xs)
+        assert np.all(cost >= 0.0)
+
+    def test_1d_inputs_accepted(self):
+        cost = squared_euclidean_cost([0.0, 1.0], [2.0])
+        np.testing.assert_allclose(cost, [[4.0], [1.0]])
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(ValidationError, match="feature dimension"):
+            squared_euclidean_cost(np.zeros((2, 2)), np.zeros((2, 3)))
+
+
+class TestLpCost:
+    def test_p1_is_manhattan(self):
+        cost = lp_cost([[0.0, 0.0]], [[1.0, 2.0]], p=1)
+        np.testing.assert_allclose(cost, [[3.0]])
+
+    def test_p2_matches_sqeuclidean(self, rng):
+        xs = rng.normal(size=(4, 2))
+        ys = rng.normal(size=(5, 2))
+        np.testing.assert_allclose(lp_cost(xs, ys, 2),
+                                   squared_euclidean_cost(xs, ys),
+                                   atol=1e-10)
+
+    def test_p3(self):
+        cost = lp_cost([0.0], [2.0], p=3)
+        np.testing.assert_allclose(cost, [[8.0]])
+
+    def test_invalid_p_rejected(self):
+        with pytest.raises(ValidationError):
+            lp_cost([0.0], [1.0], p=0)
+
+
+class TestDispatch:
+    def test_euclidean_is_sqrt_of_squared(self, rng):
+        xs = rng.normal(size=(3, 2))
+        ys = rng.normal(size=(4, 2))
+        np.testing.assert_allclose(euclidean_cost(xs, ys) ** 2,
+                                   squared_euclidean_cost(xs, ys),
+                                   atol=1e-10)
+
+    def test_cost_matrix_metric_names(self, rng):
+        xs = rng.normal(size=(3, 1))
+        ys = rng.normal(size=(3, 1))
+        np.testing.assert_allclose(
+            cost_matrix(xs, ys, metric="sqeuclidean"),
+            squared_euclidean_cost(xs, ys))
+        np.testing.assert_allclose(
+            cost_matrix(xs, ys, metric="euclidean"),
+            euclidean_cost(xs, ys))
+        np.testing.assert_allclose(
+            cost_matrix(xs, ys, metric="lp", p=1), lp_cost(xs, ys, 1))
+
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(ValidationError, match="unknown metric"):
+            cost_matrix([0.0], [1.0], metric="cosine")
+
+    def test_make_cost_function_closure(self):
+        fn = make_cost_function("lp", p=1)
+        np.testing.assert_allclose(fn([0.0], [3.0]), [[3.0]])
+        assert "lp" in fn.__name__

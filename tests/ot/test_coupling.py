@@ -1,0 +1,110 @@
+"""Tests for the TransportPlan container."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.ot.coupling import TransportPlan, is_coupling, marginal_residual
+
+
+@pytest.fixture
+def simple_plan():
+    matrix = np.array([[0.2, 0.1], [0.0, 0.7]])
+    return TransportPlan(matrix, [0.0, 1.0], [0.0, 1.0])
+
+
+class TestConstruction:
+    def test_marginals(self, simple_plan):
+        np.testing.assert_allclose(simple_plan.source_weights, [0.3, 0.7])
+        np.testing.assert_allclose(simple_plan.target_weights, [0.2, 0.8])
+
+    def test_supports_promoted_to_2d(self, simple_plan):
+        assert simple_plan.source_support.shape == (2, 1)
+        assert simple_plan.target_support.shape == (2, 1)
+
+    def test_negative_entries_rejected(self):
+        with pytest.raises(ValidationError, match="non-negative"):
+            TransportPlan(np.array([[-0.5, 0.5], [0.5, 0.5]]),
+                          [0.0, 1.0], [0.0, 1.0])
+
+    def test_support_length_mismatch_rejected(self):
+        with pytest.raises(ValidationError, match="points"):
+            TransportPlan(np.eye(2) / 2, [0.0, 1.0, 2.0], [0.0, 1.0])
+
+    def test_non_2d_matrix_rejected(self):
+        with pytest.raises(ValidationError, match="2-D"):
+            TransportPlan(np.zeros(3), [0.0, 1.0, 2.0], [0.0])
+
+    def test_nonfinite_support_rejected(self):
+        with pytest.raises(ValidationError, match="non-finite"):
+            TransportPlan(np.eye(2) / 2, [0.0, np.nan], [0.0, 1.0])
+
+
+class TestVerify:
+    def test_verify_accepts_true_marginals(self, simple_plan):
+        simple_plan.verify([0.3, 0.7], [0.2, 0.8])
+
+    def test_verify_rejects_wrong_marginals(self, simple_plan):
+        with pytest.raises(ValidationError, match="coupling constraints"):
+            simple_plan.verify([0.5, 0.5], [0.2, 0.8])
+
+    def test_verify_rejects_wrong_shape(self, simple_plan):
+        with pytest.raises(ValidationError, match="incompatible"):
+            simple_plan.verify([0.3, 0.4, 0.3], [0.2, 0.8])
+
+
+class TestOperations:
+    def test_conditional_row_normalised(self, simple_plan):
+        row = simple_plan.conditional_row(0)
+        np.testing.assert_allclose(row.sum(), 1.0)
+        np.testing.assert_allclose(row, [2.0 / 3.0, 1.0 / 3.0])
+
+    def test_conditional_row_zero_mass_falls_back_to_nearest(self):
+        matrix = np.array([[0.0, 0.0], [0.5, 0.5]])
+        plan = TransportPlan(matrix, [0.0, 10.0], [1.0, 9.0])
+        row = plan.conditional_row(0)
+        np.testing.assert_allclose(row, [1.0, 0.0])  # 1.0 is nearest to 0.0
+
+    def test_conditional_matrix_rows_sum_to_one(self, simple_plan):
+        conditionals = simple_plan.conditional_matrix()
+        np.testing.assert_allclose(conditionals.sum(axis=1), 1.0)
+
+    def test_barycentric_projection(self, simple_plan):
+        projected = simple_plan.barycentric_projection()
+        # Row 0: (0.2 * 0 + 0.1 * 1) / 0.3; row 1: all mass on target 1.
+        np.testing.assert_allclose(projected.ravel(), [1.0 / 3.0, 1.0])
+
+    def test_expected_cost(self, simple_plan):
+        cost = np.array([[0.0, 1.0], [1.0, 0.0]])
+        assert simple_plan.expected_cost(cost) == pytest.approx(0.1)
+
+    def test_expected_cost_shape_mismatch(self, simple_plan):
+        with pytest.raises(ValidationError, match="cost shape"):
+            simple_plan.expected_cost(np.zeros((3, 3)))
+
+    def test_transpose_swaps_marginals(self, simple_plan):
+        reverse = simple_plan.transpose()
+        np.testing.assert_allclose(reverse.source_weights,
+                                   simple_plan.target_weights)
+        np.testing.assert_allclose(reverse.matrix, simple_plan.matrix.T)
+
+
+class TestHelpers:
+    def test_marginal_residual_zero_for_exact(self, simple_plan):
+        assert marginal_residual(simple_plan.matrix, [0.3, 0.7],
+                                 [0.2, 0.8]) == pytest.approx(0.0)
+
+    def test_is_coupling_true(self, simple_plan):
+        assert is_coupling(simple_plan.matrix, np.array([0.3, 0.7]),
+                           np.array([0.2, 0.8]))
+
+    def test_is_coupling_false_on_negative(self):
+        matrix = np.array([[-0.1, 0.6], [0.3, 0.2]])
+        assert not is_coupling(matrix, np.array([0.5, 0.5]),
+                               np.array([0.2, 0.8]))
+
+    def test_is_coupling_false_on_marginal_violation(self, simple_plan):
+        assert not is_coupling(simple_plan.matrix, np.array([0.5, 0.5]),
+                               np.array([0.2, 0.8]))

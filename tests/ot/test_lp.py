@@ -1,0 +1,51 @@
+"""Tests for the scipy-linprog transport oracle."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.ot.lp import solve_transport_lp, transport_lp
+from repro.ot.onedim import wasserstein_1d
+
+
+class TestTransportLp:
+    def test_couples_marginals(self, rng):
+        cost = rng.random((5, 6))
+        mu = rng.dirichlet(np.ones(5))
+        nu = rng.dirichlet(np.ones(6))
+        plan = transport_lp(cost, mu, nu)
+        np.testing.assert_allclose(plan.sum(axis=1), mu, atol=1e-8)
+        np.testing.assert_allclose(plan.sum(axis=0), nu, atol=1e-8)
+        assert np.all(plan >= 0.0)
+
+    def test_1d_value_matches_closed_form(self, rng):
+        xs = rng.normal(size=7)
+        ys = rng.normal(size=7)
+        mu = rng.dirichlet(np.ones(7))
+        nu = rng.dirichlet(np.ones(7))
+        cost = np.abs(xs[:, None] - ys[None, :]) ** 2
+        plan = transport_lp(cost, mu, nu)
+        w2_sq = wasserstein_1d(xs, mu, ys, nu, p=2) ** 2
+        assert np.sum(cost * plan) == pytest.approx(w2_sq, rel=1e-7)
+
+    def test_point_mass(self):
+        plan = transport_lp(np.array([[3.0]]), [1.0], [1.0])
+        np.testing.assert_allclose(plan, [[1.0]])
+
+    def test_bad_shapes_rejected(self):
+        with pytest.raises(ValidationError):
+            transport_lp(np.zeros((2, 2)), [1.0], [0.5, 0.5])
+        with pytest.raises(ValidationError, match="2-D"):
+            transport_lp(np.zeros(4), [0.5, 0.5], [0.5, 0.5])
+
+
+class TestWrapper:
+    def test_plan_object_and_cost(self, rng):
+        cost = rng.random((3, 3))
+        mu = rng.dirichlet(np.ones(3))
+        nu = rng.dirichlet(np.ones(3))
+        plan = solve_transport_lp(cost, mu, nu)
+        assert plan.cost == pytest.approx(np.sum(cost * plan.matrix))
+        plan.verify(mu, nu, atol=1e-7)

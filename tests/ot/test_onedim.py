@@ -1,0 +1,152 @@
+"""Tests for closed-form 1-D optimal transport."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.ot.onedim import (monotone_map, north_west_corner,
+                             quantile_function, solve_1d, wasserstein_1d)
+
+
+class TestNorthWestCorner:
+    def test_identity_coupling_for_equal_marginals(self):
+        mu = np.array([0.5, 0.5])
+        plan = north_west_corner(mu, mu)
+        np.testing.assert_allclose(plan, np.diag(mu))
+
+    def test_marginals_respected(self, rng):
+        mu = rng.dirichlet(np.ones(6))
+        nu = rng.dirichlet(np.ones(9))
+        plan = north_west_corner(mu, nu)
+        np.testing.assert_allclose(plan.sum(axis=1), mu, atol=1e-12)
+        np.testing.assert_allclose(plan.sum(axis=0), nu, atol=1e-12)
+
+    def test_sparsity_bound(self, rng):
+        mu = rng.dirichlet(np.ones(10))
+        nu = rng.dirichlet(np.ones(15))
+        plan = north_west_corner(mu, nu)
+        assert np.count_nonzero(plan) <= 10 + 15 - 1
+
+    def test_monotone_staircase_structure(self):
+        plan = north_west_corner([0.3, 0.7], [0.6, 0.4])
+        # Mass must fill the upper-left before moving right/down.
+        np.testing.assert_allclose(plan, [[0.3, 0.0], [0.3, 0.4]])
+
+    def test_normalizes_inputs(self):
+        plan = north_west_corner([3.0, 7.0], [6.0, 4.0])
+        np.testing.assert_allclose(plan.sum(), 1.0)
+
+
+class TestSolve1d:
+    def test_point_masses(self):
+        plan = solve_1d([0.0], [1.0], [5.0], [1.0])
+        np.testing.assert_allclose(plan.matrix, [[1.0]])
+        assert plan.cost == pytest.approx(25.0)
+
+    def test_unsorted_supports_handled(self):
+        # Supports deliberately unsorted; optimal monotone pairing must be
+        # recovered after sorting: 0->1, 2->3.
+        plan = solve_1d([2.0, 0.0], [0.5, 0.5], [1.0, 3.0], [0.5, 0.5])
+        np.testing.assert_allclose(plan.matrix,
+                                   [[0.0, 0.5], [0.5, 0.0]])
+        assert plan.cost == pytest.approx(0.5 * 1.0 + 0.5 * 1.0)
+
+    def test_cost_matches_wasserstein(self, rng):
+        xs = rng.normal(size=8)
+        ys = rng.normal(size=11)
+        mu = rng.dirichlet(np.ones(8))
+        nu = rng.dirichlet(np.ones(11))
+        plan = solve_1d(xs, mu, ys, nu, p=2)
+        w2 = wasserstein_1d(xs, mu, ys, nu, p=2)
+        assert plan.cost == pytest.approx(w2 ** 2, rel=1e-8)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValidationError, match="mismatch"):
+            solve_1d([0.0, 1.0], [1.0], [0.0], [1.0])
+
+    def test_plan_couples_marginals(self, rng):
+        xs = rng.normal(size=5)
+        ys = rng.normal(size=7)
+        mu = rng.dirichlet(np.ones(5))
+        nu = rng.dirichlet(np.ones(7))
+        plan = solve_1d(xs, mu, ys, nu)
+        plan.verify(mu, nu, atol=1e-9)
+
+
+class TestWasserstein1d:
+    def test_translation_distance(self):
+        # W_p between a measure and its translate equals the shift.
+        xs = np.array([0.0, 1.0, 2.0])
+        w = np.array([0.2, 0.5, 0.3])
+        for p in (1, 2, 3):
+            dist = wasserstein_1d(xs, w, xs + 3.0, w, p=p)
+            assert dist == pytest.approx(3.0, rel=1e-9)
+
+    def test_zero_for_identical(self, rng):
+        xs = rng.normal(size=6)
+        w = rng.dirichlet(np.ones(6))
+        assert wasserstein_1d(xs, w, xs, w) == pytest.approx(0.0, abs=1e-12)
+
+    def test_symmetry(self, rng):
+        xs, ys = rng.normal(size=5), rng.normal(size=8)
+        mu = rng.dirichlet(np.ones(5))
+        nu = rng.dirichlet(np.ones(8))
+        d_xy = wasserstein_1d(xs, mu, ys, nu)
+        d_yx = wasserstein_1d(ys, nu, xs, mu)
+        assert d_xy == pytest.approx(d_yx, rel=1e-9)
+
+    def test_triangle_inequality(self, rng):
+        xs, ys, zs = (rng.normal(size=6) for _ in range(3))
+        ws = [rng.dirichlet(np.ones(6)) for _ in range(3)]
+        d_xy = wasserstein_1d(xs, ws[0], ys, ws[1])
+        d_yz = wasserstein_1d(ys, ws[1], zs, ws[2])
+        d_xz = wasserstein_1d(xs, ws[0], zs, ws[2])
+        assert d_xz <= d_xy + d_yz + 1e-9
+
+    def test_two_point_known_value(self):
+        # Half the mass moves by 1: W1 = 0.5, W2 = sqrt(0.5).
+        d1 = wasserstein_1d([0.0, 1.0], [0.5, 0.5],
+                            [0.0, 1.0], [1.0, 0.0], p=1)
+        assert d1 == pytest.approx(0.5)
+        d2 = wasserstein_1d([0.0, 1.0], [0.5, 0.5],
+                            [0.0, 1.0], [1.0, 0.0], p=2)
+        assert d2 == pytest.approx(np.sqrt(0.5))
+
+
+class TestQuantileFunction:
+    def test_basic_levels(self):
+        xs = np.array([1.0, 2.0, 3.0])
+        w = np.array([0.2, 0.3, 0.5])
+        got = quantile_function(xs, w, [0.1, 0.2, 0.4, 0.9, 1.0])
+        np.testing.assert_allclose(got, [1.0, 1.0, 2.0, 3.0, 3.0])
+
+    def test_unsorted_support(self):
+        got = quantile_function([3.0, 1.0], [0.5, 0.5], [0.25, 0.75])
+        np.testing.assert_allclose(got, [1.0, 3.0])
+
+    def test_invalid_levels_rejected(self):
+        with pytest.raises(ValidationError, match=r"\[0, 1\]"):
+            quantile_function([0.0], [1.0], [1.5])
+
+
+class TestMonotoneMap:
+    def test_equal_sizes_is_sorted_matching(self, rng):
+        xs = rng.normal(size=20)
+        ys = rng.normal(size=20)
+        mapped = monotone_map(xs, ys)
+        # The i-th smallest source must map to the i-th smallest target.
+        np.testing.assert_allclose(np.sort(mapped), np.sort(ys))
+        order = np.argsort(xs)
+        np.testing.assert_allclose(mapped[order], np.sort(ys))
+
+    def test_map_is_monotone(self, rng):
+        xs = np.sort(rng.normal(size=30))
+        ys = rng.normal(size=50)
+        mapped = monotone_map(xs, ys)
+        assert np.all(np.diff(mapped) >= 0.0)
+
+    def test_preserves_input_order(self):
+        mapped = monotone_map([2.0, 0.0, 1.0], [10.0, 20.0, 30.0])
+        assert mapped[1] <= mapped[2] <= mapped[0]

@@ -1,0 +1,115 @@
+"""Property-based tests (hypothesis) for the OT substrate invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.ot.coupling import marginal_residual
+from repro.ot.lp import transport_lp
+from repro.ot.network_simplex import transport_simplex
+from repro.ot.onedim import (north_west_corner, quantile_function, solve_1d,
+                             wasserstein_1d)
+from repro.ot.sinkhorn import sinkhorn
+
+# -- strategies ---------------------------------------------------------------
+
+def weights(n: int):
+    """Strictly positive weight vectors of length n (pre-normalisation)."""
+    return arrays(np.float64, n,
+                  elements=st.floats(0.05, 10.0, allow_nan=False))
+
+
+def supports(n: int):
+    return arrays(np.float64, n,
+                  elements=st.floats(-50.0, 50.0, allow_nan=False,
+                                     allow_infinity=False))
+
+
+# -- north-west corner / monotone coupling ------------------------------------
+
+@given(mu=weights(7), nu=weights(5))
+@settings(max_examples=60, deadline=None)
+def test_nw_corner_is_always_a_coupling(mu, nu):
+    plan = north_west_corner(mu, nu)
+    assert np.all(plan >= 0.0)
+    assert marginal_residual(plan, mu / mu.sum(), nu / nu.sum()) < 1e-9
+
+
+@given(mu=weights(6), nu=weights(6))
+@settings(max_examples=60, deadline=None)
+def test_nw_corner_sparsity(mu, nu):
+    plan = north_west_corner(mu, nu)
+    assert np.count_nonzero(plan) <= 6 + 6 - 1
+
+
+# -- 1-D exact OT --------------------------------------------------------------
+
+@given(xs=supports(6), ys=supports(8), mu=weights(6), nu=weights(8))
+@settings(max_examples=60, deadline=None)
+def test_solve_1d_couples_and_is_consistent(xs, ys, mu, nu):
+    plan = solve_1d(xs, mu, ys, nu, p=2)
+    mu_n, nu_n = mu / mu.sum(), nu / nu.sum()
+    assert marginal_residual(plan.matrix, mu_n, nu_n) < 1e-9
+    w2 = wasserstein_1d(xs, mu, ys, nu, p=2)
+    assert plan.cost == pytest.approx(w2 ** 2, rel=1e-6, abs=1e-9)
+
+
+@given(xs=supports(5), mu=weights(5), shift=st.floats(-10.0, 10.0))
+@settings(max_examples=60, deadline=None)
+def test_wasserstein_translation_invariance(xs, mu, shift):
+    # W_2(µ, µ + c) == |c| for any measure µ.
+    dist = wasserstein_1d(xs, mu, xs + shift, mu, p=2)
+    assert dist == pytest.approx(abs(shift), rel=1e-6, abs=1e-8)
+
+
+@given(xs=supports(5), ys=supports(7), mu=weights(5), nu=weights(7))
+@settings(max_examples=60, deadline=None)
+def test_wasserstein_nonnegative_and_symmetric(xs, ys, mu, nu):
+    d_xy = wasserstein_1d(xs, mu, ys, nu, p=2)
+    d_yx = wasserstein_1d(ys, nu, xs, mu, p=2)
+    assert d_xy >= 0.0
+    assert d_xy == pytest.approx(d_yx, rel=1e-7, abs=1e-10)
+
+
+@given(xs=supports(6), mu=weights(6),
+       levels=arrays(np.float64, 10, elements=st.floats(0.0, 1.0)))
+@settings(max_examples=60, deadline=None)
+def test_quantile_function_monotone_in_level(xs, mu, levels):
+    sorted_levels = np.sort(levels)
+    values = quantile_function(xs, mu, sorted_levels)
+    assert np.all(np.diff(values) >= -1e-12)
+
+
+# -- exact solvers agree --------------------------------------------------------
+
+@given(cost=arrays(np.float64, (4, 5),
+                   elements=st.floats(0.0, 10.0, allow_nan=False)),
+       mu=weights(4), nu=weights(5))
+@settings(max_examples=30, deadline=None)
+def test_simplex_matches_lp_oracle(cost, mu, nu):
+    simplex_plan = transport_simplex(cost, mu, nu)
+    lp_plan = transport_lp(cost, mu, nu)
+    value_simplex = float(np.sum(cost * simplex_plan))
+    value_lp = float(np.sum(cost * lp_plan))
+    assert value_simplex == pytest.approx(value_lp, rel=1e-6, abs=1e-8)
+
+
+# -- Sinkhorn -------------------------------------------------------------------
+
+@given(mu=weights(5), nu=weights(6))
+@settings(max_examples=20, deadline=None)
+def test_sinkhorn_cost_upper_bounds_exact(mu, nu):
+    rng = np.random.default_rng(0)
+    xs = rng.normal(size=(5, 1))
+    ys = rng.normal(size=(6, 1))
+    cost = (xs - ys.T) ** 2
+    exact = float(np.sum(cost * transport_simplex(cost, mu, nu)))
+    result = sinkhorn(cost, mu, nu, epsilon=0.05, tol=1e-10,
+                      max_iter=100_000)
+    entropic = float(np.sum(cost * result.plan))
+    # Entropic smoothing cannot beat the exact optimum (up to round-off).
+    assert entropic >= exact - 1e-8

@@ -1,0 +1,89 @@
+"""Tests for the sliced Wasserstein distance."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.ot.sliced import random_directions, sliced_wasserstein
+
+
+class TestRandomDirections:
+    def test_unit_norm(self, rng):
+        dirs = random_directions(50, 4, rng=rng)
+        np.testing.assert_allclose(np.linalg.norm(dirs, axis=1), 1.0,
+                                   atol=1e-12)
+
+    def test_shape(self, rng):
+        assert random_directions(7, 3, rng=rng).shape == (7, 3)
+
+    def test_deterministic_with_seed(self):
+        a = random_directions(5, 2, rng=3)
+        b = random_directions(5, 2, rng=3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_roughly_isotropic(self):
+        dirs = random_directions(20_000, 2, rng=0)
+        mean = dirs.mean(axis=0)
+        assert np.linalg.norm(mean) < 0.02
+
+    def test_invalid_args(self):
+        with pytest.raises(ValidationError):
+            random_directions(0, 2)
+        with pytest.raises(ValidationError):
+            random_directions(3, 0)
+
+
+class TestSlicedWasserstein:
+    def test_zero_for_identical(self, rng):
+        xs = rng.normal(size=(100, 3))
+        assert sliced_wasserstein(xs, xs, rng=0) == pytest.approx(
+            0.0, abs=1e-10)
+
+    def test_translation_lower_bound(self, rng):
+        # SW2 of a translate equals |shift| * E|<theta, e>| ... it is
+        # bounded above by the true W2 (= |shift|) and is positive.
+        xs = rng.normal(size=(300, 2))
+        shift = np.array([3.0, 0.0])
+        sw = sliced_wasserstein(xs, xs + shift, rng=0,
+                                n_directions=256)
+        assert 0.5 * 3.0 / np.sqrt(2) < sw <= 3.0 + 1e-9
+
+    def test_detects_correlation_difference(self, rng):
+        # Same marginals, opposite correlation: per-feature views agree,
+        # sliced W must not.
+        n = 2000
+        z = rng.normal(size=(n, 2))
+        rho = 0.9
+        pos = np.column_stack([z[:, 0],
+                               rho * z[:, 0]
+                               + np.sqrt(1 - rho ** 2) * z[:, 1]])
+        neg = np.column_stack([pos[:, 0], -pos[:, 1]])
+        sw = sliced_wasserstein(pos, neg, rng=0, n_directions=128)
+        assert sw > 0.3
+
+    def test_symmetry(self, rng):
+        xs = rng.normal(size=(40, 2))
+        ys = rng.normal(1.0, 1.0, size=(60, 2))
+        assert sliced_wasserstein(xs, ys, rng=7) == pytest.approx(
+            sliced_wasserstein(ys, xs, rng=7), rel=1e-9)
+
+    def test_more_directions_reduce_variance(self, rng):
+        xs = rng.normal(size=(200, 3))
+        ys = rng.normal(0.5, 1.0, size=(200, 3))
+        few = [sliced_wasserstein(xs, ys, n_directions=4, rng=seed)
+               for seed in range(12)]
+        many = [sliced_wasserstein(xs, ys, n_directions=128, rng=seed)
+                for seed in range(12)]
+        assert np.std(many) < np.std(few)
+
+    def test_dimension_mismatch_rejected(self, rng):
+        with pytest.raises(ValidationError, match="dimension"):
+            sliced_wasserstein(rng.normal(size=(5, 2)),
+                               rng.normal(size=(5, 3)))
+
+    def test_p1_variant(self, rng):
+        xs = rng.normal(size=(100, 2))
+        sw1 = sliced_wasserstein(xs, xs + 1.0, p=1, rng=0)
+        assert sw1 > 0.0

@@ -1,0 +1,86 @@
+"""Tests for unbalanced entropic OT."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConvergenceError, ValidationError
+from repro.ot.cost import squared_euclidean_cost
+from repro.ot.sinkhorn import sinkhorn
+from repro.ot.unbalanced import sinkhorn_unbalanced
+
+
+@pytest.fixture
+def problem(rng):
+    xs = rng.normal(size=(6, 1))
+    ys = rng.normal(size=(8, 1))
+    cost = squared_euclidean_cost(xs, ys)
+    mu = rng.dirichlet(np.ones(6))
+    nu = rng.dirichlet(np.ones(8))
+    return cost, mu, nu
+
+
+class TestUnbalancedSinkhorn:
+    def test_converges(self, problem):
+        cost, mu, nu = problem
+        result = sinkhorn_unbalanced(cost, mu, nu, epsilon=0.05,
+                                     marginal_relaxation=1.0)
+        assert result.converged
+        assert np.all(result.plan >= 0.0)
+
+    def test_large_relaxation_recovers_balanced(self, problem):
+        # The exponent approaches 1 as λ grows, so convergence slows;
+        # λ = 50 with a modest tolerance is close enough to compare.
+        cost, mu, nu = problem
+        relaxed = sinkhorn_unbalanced(cost, mu, nu, epsilon=0.05,
+                                      marginal_relaxation=50.0,
+                                      max_iter=200_000, tol=1e-10)
+        balanced = sinkhorn(cost, mu, nu, epsilon=0.05, tol=1e-12,
+                            max_iter=200_000)
+        np.testing.assert_allclose(relaxed.plan, balanced.plan, atol=2e-2)
+        # And the marginals are nearly matched.
+        assert np.abs(relaxed.plan.sum(axis=1) - mu).max() < 0.02
+
+    def test_small_relaxation_sheds_marginal_mismatch(self, problem):
+        cost, mu, nu = problem
+        loose = sinkhorn_unbalanced(cost, mu, nu, epsilon=0.05,
+                                    marginal_relaxation=0.01)
+        tight = sinkhorn_unbalanced(cost, mu, nu, epsilon=0.05,
+                                    marginal_relaxation=100.0,
+                                    max_iter=100_000)
+        loose_residual = np.abs(loose.plan.sum(axis=1) - mu).max()
+        tight_residual = np.abs(tight.plan.sum(axis=1) - mu).max()
+        assert loose_residual > tight_residual
+
+    def test_relaxation_softens_outlier_influence(self, rng):
+        # An isolated far-away source atom: balanced OT must ship its
+        # mass at huge cost; unbalanced OT shrinks it instead.
+        xs = np.concatenate([rng.normal(size=5), [50.0]]).reshape(-1, 1)
+        ys = rng.normal(size=(6, 1))
+        cost = squared_euclidean_cost(xs, ys)
+        mu = np.full(6, 1.0 / 6.0)
+        nu = np.full(6, 1.0 / 6.0)
+        loose = sinkhorn_unbalanced(cost, mu, nu, epsilon=0.1,
+                                    marginal_relaxation=0.05)
+        outlier_mass = loose.plan[5].sum()
+        assert outlier_mass < 0.5 * mu[5]
+
+    def test_failure_modes(self, problem):
+        cost, mu, nu = problem
+        with pytest.raises(ValidationError, match="epsilon"):
+            sinkhorn_unbalanced(cost, mu, nu, epsilon=0.0)
+        with pytest.raises(ValidationError, match="marginal_relaxation"):
+            sinkhorn_unbalanced(cost, mu, nu, marginal_relaxation=0.0)
+        with pytest.raises(ValidationError, match="incompatible"):
+            sinkhorn_unbalanced(cost, mu[:-1], nu)
+
+    def test_budget_exhaustion(self, problem):
+        cost, mu, nu = problem
+        with pytest.raises(ConvergenceError):
+            sinkhorn_unbalanced(cost, mu, nu, epsilon=1e-4, max_iter=2,
+                                tol=1e-15)
+        result = sinkhorn_unbalanced(cost, mu, nu, epsilon=1e-4,
+                                     max_iter=2, tol=1e-15,
+                                     raise_on_failure=False)
+        assert not result.converged

@@ -1,0 +1,73 @@
+"""Tests for the Wasserstein distance front-end."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.ot.wasserstein import (wasserstein_distance,
+                                  wasserstein_sample_distance)
+
+
+class TestWassersteinDistance:
+    def test_1d_auto_matches_forced_1d(self, rng):
+        xs, ys = rng.normal(size=6), rng.normal(size=9)
+        mu = rng.dirichlet(np.ones(6))
+        nu = rng.dirichlet(np.ones(9))
+        auto = wasserstein_distance(xs, mu, ys, nu, method="auto")
+        forced = wasserstein_distance(xs, mu, ys, nu, method="1d")
+        assert auto == pytest.approx(forced)
+
+    def test_1d_closed_form_matches_exact_solver(self, rng):
+        xs, ys = rng.normal(size=7), rng.normal(size=7)
+        mu = rng.dirichlet(np.ones(7))
+        nu = rng.dirichlet(np.ones(7))
+        fast = wasserstein_distance(xs, mu, ys, nu, method="1d")
+        exact = wasserstein_distance(xs.reshape(-1, 1), mu,
+                                     ys.reshape(-1, 1), nu, method="exact")
+        assert fast == pytest.approx(exact, rel=1e-7)
+
+    def test_multivariate_translation(self):
+        xs = np.array([[0.0, 0.0], [1.0, 0.0]])
+        shift = np.array([3.0, 4.0])  # length 5
+        mu = np.array([0.5, 0.5])
+        dist = wasserstein_distance(xs, mu, xs + shift, mu, p=2)
+        assert dist == pytest.approx(5.0, rel=1e-9)
+
+    def test_method_1d_rejects_multivariate(self):
+        with pytest.raises(ValidationError, match="one-dimensional"):
+            wasserstein_distance(np.zeros((2, 2)), [0.5, 0.5],
+                                 np.zeros((2, 2)), [0.5, 0.5],
+                                 method="1d")
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValidationError, match="unknown method"):
+            wasserstein_distance([0.0], [1.0], [1.0], [1.0],
+                                 method="magic")
+
+    def test_p1_distance(self):
+        dist = wasserstein_distance([0.0], [1.0], [2.0], [1.0], p=1)
+        assert dist == pytest.approx(2.0)
+
+
+class TestSampleDistance:
+    def test_identical_samples_zero(self, rng):
+        xs = rng.normal(size=15)
+        assert wasserstein_sample_distance(xs, xs) == pytest.approx(
+            0.0, abs=1e-10)
+
+    def test_translation_recovered(self, rng):
+        xs = rng.normal(size=50)
+        dist = wasserstein_sample_distance(xs, xs + 2.0, p=2)
+        assert dist == pytest.approx(2.0, rel=1e-9)
+
+    def test_unequal_sizes_allowed(self, rng):
+        xs = rng.normal(size=10)
+        ys = rng.normal(size=17)
+        dist = wasserstein_sample_distance(xs, ys)
+        assert np.isfinite(dist) and dist >= 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError, match="non-empty"):
+            wasserstein_sample_distance(np.array([]), np.array([1.0]))

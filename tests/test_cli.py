@@ -1,0 +1,143 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import (build_parser, main, read_csv_dataset,
+                       write_csv_dataset)
+from repro.data.simulated import paper_simulation_spec
+from repro.exceptions import DataError
+
+
+@pytest.fixture
+def sample_csv(tmp_path, rng):
+    data = paper_simulation_spec().sample(400, rng=rng)
+    path = tmp_path / "data.csv"
+    write_csv_dataset(data, path)
+    return path, data
+
+
+class TestCsvRoundTrip:
+    def test_read_back(self, sample_csv):
+        path, original = sample_csv
+        loaded = read_csv_dataset(path)
+        assert len(loaded) == len(original)
+        np.testing.assert_allclose(loaded.features, original.features,
+                                   rtol=1e-9)
+        np.testing.assert_array_equal(loaded.s, original.s)
+        np.testing.assert_array_equal(loaded.u, original.u)
+        assert loaded.feature_names == original.feature_names
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DataError, match="not found"):
+            read_csv_dataset(tmp_path / "nope.csv")
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(DataError, match="empty"):
+            read_csv_dataset(path)
+
+    def test_missing_label_column(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("x0,x1\n1.0,2.0\n")
+        with pytest.raises(DataError, match="missing required column"):
+            read_csv_dataset(path)
+
+    def test_non_numeric_field(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("x0,s,u\nabc,0,1\n")
+        with pytest.raises(DataError, match="non-numeric"):
+            read_csv_dataset(path)
+
+    def test_ragged_row(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("x0,s,u\n1.0,0\n")
+        with pytest.raises(DataError, match="expected 3"):
+            read_csv_dataset(path)
+
+    def test_no_feature_columns(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("s,u\n0,1\n")
+        with pytest.raises(DataError, match="no feature columns"):
+            read_csv_dataset(path)
+
+
+class TestParser:
+    def test_all_subcommands_present(self):
+        parser = build_parser()
+        for argv in (["experiment", "table1"],
+                     ["design", "r.csv", "p.npz"],
+                     ["repair", "p.npz", "a.csv", "o.csv"],
+                     ["evaluate", "d.csv"]):
+            args = parser.parse_args(argv)
+            assert args.command == argv[0]
+
+    def test_experiment_choices_enforced(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["experiment", "table9"])
+
+
+class TestCommands:
+    def test_design_repair_evaluate_cycle(self, sample_csv, tmp_path,
+                                          capsys):
+        data_path, _ = sample_csv
+        plan_path = tmp_path / "plan.npz"
+        out_path = tmp_path / "repaired.csv"
+
+        assert main(["design", str(data_path), str(plan_path),
+                     "--n-states", "20"]) == 0
+        assert plan_path.exists()
+        assert "designed" in capsys.readouterr().out
+
+        assert main(["repair", str(plan_path), str(data_path),
+                     str(out_path), "--seed", "1"]) == 0
+        assert out_path.exists()
+        assert "repaired" in capsys.readouterr().out
+
+        assert main(["evaluate", str(out_path)]) == 0
+        output = capsys.readouterr().out
+        assert "E total" in output
+
+    def test_evaluate_reports_per_feature(self, sample_csv, capsys):
+        data_path, _ = sample_csv
+        assert main(["evaluate", str(data_path)]) == 0
+        output = capsys.readouterr().out
+        assert "E[x1]" in output and "E[x2]" in output
+
+    def test_error_paths_return_nonzero(self, tmp_path, capsys):
+        code = main(["evaluate", str(tmp_path / "missing.csv")])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_repair_with_missing_plan_fails_cleanly(self, sample_csv,
+                                                    tmp_path, capsys):
+        data_path, _ = sample_csv
+        code = main(["repair", str(tmp_path / "no.npz"),
+                     str(data_path), str(tmp_path / "out.csv")])
+        assert code == 1
+
+
+class TestExperimentCommand:
+    def test_fig4_small(self, capsys):
+        # Smallest artefact; keep the CLI experiment path covered without
+        # a heavy run.
+        assert main(["experiment", "fig4", "--repeats", "1",
+                     "--seed", "1"]) == 0
+        output = capsys.readouterr().out
+        assert "Figure 4" in output
+        assert "converged by nQ" in output
+
+    def test_monge_extension(self, capsys):
+        assert main(["experiment", "monge", "--seed", "1"]) == 0
+        output = capsys.readouterr().out
+        assert "Monge" in output
+
+    def test_extension_choices_accepted(self):
+        parser = build_parser()
+        for artefact in ("tradeoff", "correlation", "monge"):
+            args = parser.parse_args(["experiment", artefact])
+            assert args.artefact == artefact

@@ -1,0 +1,49 @@
+"""Documentation integrity: doctests and example scripts.
+
+Keeps the README-level promises honest: the package docstring's quick
+tour must execute, and every example script must at least import and
+expose a ``main`` callable.
+"""
+
+from __future__ import annotations
+
+import ast
+import doctest
+from pathlib import Path
+
+import pytest
+
+import repro
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def test_package_docstring_doctest():
+    results = doctest.testmod(repro, verbose=False)
+    assert results.attempted > 0
+    assert results.failed == 0
+
+
+def test_version_matches_pyproject():
+    pyproject = (Path(__file__).resolve().parent.parent
+                 / "pyproject.toml").read_text()
+    assert f'version = "{repro.__version__}"' in pyproject
+
+
+@pytest.mark.parametrize("script", sorted(EXAMPLES_DIR.glob("*.py")),
+                         ids=lambda p: p.name)
+def test_example_scripts_well_formed(script):
+    tree = ast.parse(script.read_text())
+    # Module docstring present and substantial.
+    docstring = ast.get_docstring(tree)
+    assert docstring and len(docstring) > 80
+    # A main() entry point guarded by __main__.
+    names = {node.name for node in tree.body
+             if isinstance(node, ast.FunctionDef)}
+    assert "main" in names
+    assert any(isinstance(node, ast.If) for node in tree.body)
+
+
+def test_examples_directory_has_quickstart():
+    assert (EXAMPLES_DIR / "quickstart.py").exists()
+    assert len(list(EXAMPLES_DIR.glob("*.py"))) >= 3

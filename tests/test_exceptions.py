@@ -1,0 +1,45 @@
+"""Tests for the exception hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import (ConvergenceError, DataError,
+                              InfeasibleProblemError, NotFittedError,
+                              ReproError, SchemaError, ValidationError)
+
+
+def test_all_errors_derive_from_repro_error():
+    for exc_type in (ValidationError, NotFittedError, ConvergenceError,
+                     InfeasibleProblemError, DataError, SchemaError):
+        assert issubclass(exc_type, ReproError)
+
+
+def test_validation_error_is_value_error():
+    assert issubclass(ValidationError, ValueError)
+
+
+def test_not_fitted_is_runtime_error():
+    assert issubclass(NotFittedError, RuntimeError)
+
+
+def test_schema_error_is_data_error():
+    assert issubclass(SchemaError, DataError)
+
+
+def test_convergence_error_carries_diagnostics():
+    err = ConvergenceError("no convergence", iterations=10, residual=0.5)
+    assert err.iterations == 10
+    assert err.residual == 0.5
+    assert "no convergence" in str(err)
+
+
+def test_convergence_error_defaults():
+    err = ConvergenceError("plain")
+    assert err.iterations is None
+    assert err.residual is None
+
+
+def test_catching_base_catches_all():
+    with pytest.raises(ReproError):
+        raise SchemaError("bad schema")

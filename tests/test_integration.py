@@ -1,0 +1,149 @@
+"""End-to-end integration tests across the whole library.
+
+Each test exercises a realistic multi-module journey: data generation →
+split → design → repair → measurement → downstream classification.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro import (DistributionalRepairer, GeometricRepairer,
+                   LogisticRegression, RepairPipeline, SubgroupLabelModel,
+                   conditional_dependence_energy, disparate_impact,
+                   conditional_disparate_impact, simulate_paper_data,
+                   synthesize_adult)
+from repro.data.streaming import ArchiveStream
+from repro.metrics.proxies import assess_classifier
+
+
+class TestPublicApi:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+
+class TestSimulatedEndToEnd:
+    @pytest.fixture(scope="class")
+    def split(self):
+        return simulate_paper_data(n_research=400, n_archive=2500, rng=0)
+
+    def test_full_cycle_reduces_dependence(self, split):
+        repairer = DistributionalRepairer(n_states=40, rng=1)
+        repairer.fit(split.research)
+        repaired = repairer.transform(split.archive)
+        before = conditional_dependence_energy(
+            split.archive.features, split.archive.s, split.archive.u)
+        after = conditional_dependence_energy(
+            repaired.features, repaired.s, repaired.u)
+        assert after.total < before.total / 3.0
+
+    def test_repair_both_solvers_agree_in_effect(self, split):
+        results = {}
+        for solver in ("exact", "sinkhorn"):
+            repairer = DistributionalRepairer(n_states=30, solver=solver,
+                                              epsilon=1e-3, rng=1)
+            repairer.fit(split.research)
+            repaired = repairer.transform(split.archive, rng=2)
+            results[solver] = conditional_dependence_energy(
+                repaired.features, repaired.s, repaired.u).total
+        assert results["sinkhorn"] == pytest.approx(results["exact"],
+                                                    rel=1.5, abs=0.1)
+
+    def test_geometric_vs_distributional_on_sample(self, split):
+        distributional = DistributionalRepairer(n_states=40, rng=1)
+        dist_repaired = distributional.fit_transform(split.research)
+        geo_repaired = GeometricRepairer().fit_transform(split.research)
+        dist_e = conditional_dependence_energy(
+            dist_repaired.features, dist_repaired.s,
+            dist_repaired.u).total
+        geo_e = conditional_dependence_energy(
+            geo_repaired.features, geo_repaired.s, geo_repaired.u).total
+        before = conditional_dependence_energy(
+            split.research.features, split.research.s,
+            split.research.u).total
+        assert dist_e < before / 5.0
+        assert geo_e < before / 5.0
+
+
+class TestAdultEndToEnd:
+    @pytest.fixture(scope="class")
+    def split(self):
+        data = synthesize_adult(8000, rng=0)
+        return data.split(n_research=2000, rng=0)
+
+    def test_classifier_di_improves_after_repair(self, split):
+        repairer = DistributionalRepairer(
+            n_states=120, marginal_estimator="linear", rng=1)
+        repairer.fit(split.research)
+        repaired_archive = repairer.transform(split.archive)
+
+        biased = LogisticRegression().fit(
+            np.column_stack([split.research.features, split.research.s]),
+            split.research.y)
+        # Evaluate a classifier trained on repaired features (without s).
+        fair_model = LogisticRegression().fit(
+            repairer.transform(split.research).features,
+            split.research.y)
+
+        biased_pred = biased.predict(
+            np.column_stack([split.archive.features, split.archive.s]))
+        fair_pred = fair_model.predict(repaired_archive.features)
+
+        di_biased = conditional_disparate_impact(
+            biased_pred, split.archive.s, split.archive.u)
+        di_fair = conditional_disparate_impact(
+            fair_pred, repaired_archive.s, repaired_archive.u)
+        # Repair must push each u-conditional DI toward parity.
+        for u in (0, 1):
+            gap_biased = abs(np.log(max(di_biased[u], 1e-9)))
+            gap_fair = abs(np.log(max(di_fair[u], 1e-9)))
+            assert gap_fair < gap_biased
+
+    def test_assessment_bundle_runs(self, split):
+        model = LogisticRegression().fit(split.research.features,
+                                         split.research.y)
+        predictions = model.predict(split.archive.features)
+        assessment = assess_classifier(predictions, split.archive.s,
+                                       split.archive.u)
+        assert np.isfinite(assessment.disparate_impact)
+
+
+class TestUnlabelledArchiveJourney:
+    def test_pipeline_with_estimated_labels(self):
+        split = simulate_paper_data(n_research=400, n_archive=2000, rng=3)
+        pipeline = RepairPipeline(estimate_labels=True, n_states=30,
+                                  rng=0)
+        pipeline.fit(split.research)
+        repaired, report = pipeline.repair_and_report(split.archive)
+        assert report.label_accuracy > 0.55
+        assert report.after.total < report.before.total
+
+    def test_manual_label_model_then_repair(self):
+        split = simulate_paper_data(n_research=400, n_archive=2000, rng=4)
+        model = SubgroupLabelModel().fit(split.research)
+        relabelled = model.label_archive(split.archive)
+        repairer = DistributionalRepairer(n_states=30, rng=0)
+        repairer.fit(split.research)
+        repaired = repairer.transform(relabelled)
+        assert len(repaired) == len(split.archive)
+
+
+class TestStreamingJourney:
+    def test_torrent_repair(self):
+        split = simulate_paper_data(n_research=300, n_archive=3000, rng=5)
+        pipeline = RepairPipeline(n_states=30, rng=0)
+        pipeline.fit(split.research)
+        stream = ArchiveStream(split.archive, batch_size=500)
+        total = 0
+        for batch in pipeline.repair_stream(stream):
+            total += len(batch)
+            report = conditional_dependence_energy(
+                batch.features, batch.s, batch.u, n_grid=60)
+            assert np.isfinite(report.total)
+        assert total == len(split.archive)

@@ -1,0 +1,139 @@
+"""Failure injection and degenerate-input robustness across the stack.
+
+Each test feeds a pathological input to a public entry point and asserts
+either a clean :class:`~repro.exceptions.ReproError` (never a raw numpy
+crash) or graceful degradation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (DistributionalRepairer, FairnessDataset,
+                   GeometricRepairer, ReproError, ValidationError,
+                   conditional_dependence_energy)
+from repro.core.design import design_feature_plan
+from repro.core.repair import repair_feature_values
+from repro.data.dataset import FairnessDataset
+from repro.density.kde import GaussianKDE, interpolate_pmf
+from repro.metrics.divergence import kl_divergence
+from repro.ot.onedim import solve_1d
+
+
+class TestNanInjection:
+    def test_dataset_rejects_nan_features(self):
+        with pytest.raises(ReproError):
+            FairnessDataset(np.array([[np.nan]]), [0], [0])
+
+    def test_design_rejects_nan_samples(self):
+        with pytest.raises(ReproError):
+            design_feature_plan({0: np.array([np.nan, 1.0]),
+                                 1: np.array([0.0, 1.0])}, 10)
+
+    def test_repair_rejects_nan_values(self, paper_split, rng):
+        plan = design_feature_plan(
+            {0: rng.normal(size=20), 1: rng.normal(size=20)}, 10)
+        with pytest.raises(ReproError):
+            repair_feature_values(np.array([np.nan]), plan, 0, rng=rng)
+
+    def test_ot_rejects_nan_weights(self):
+        with pytest.raises(ReproError):
+            solve_1d([0.0, 1.0], [np.nan, 1.0], [0.0, 1.0], [0.5, 0.5])
+
+    def test_kl_rejects_nan_pmf(self):
+        with pytest.raises(ReproError):
+            kl_divergence([np.nan, 1.0], [0.5, 0.5])
+
+
+class TestDegenerateDistributions:
+    def test_constant_feature_repairable(self, rng):
+        # One feature is identical for everyone; the repair must not
+        # crash (degenerate grids are widened internally).
+        n = 400
+        s = rng.integers(0, 2, n)
+        u = rng.integers(0, 2, n)
+        x = np.column_stack([np.full(n, 7.0), rng.normal(size=n) + s])
+        data = FairnessDataset(x, s, u)
+        split = data.split(n_research=150, rng=rng)
+        repairer = DistributionalRepairer(n_states=15, rng=0)
+        repaired = repairer.fit(split.research).transform(split.archive)
+        # The constant feature stays (numerically) constant.
+        assert repaired.features[:, 0].std() < 0.1
+
+    def test_kde_on_identical_points(self):
+        kde = GaussianKDE([3.0, 3.0, 3.0])
+        assert np.isfinite(kde.pdf([3.0])).all()
+
+    def test_interpolate_pmf_single_sample(self):
+        pmf = interpolate_pmf([1.0], np.linspace(0.0, 2.0, 11))
+        assert pmf.sum() == pytest.approx(1.0)
+
+    def test_heavily_tied_data_through_full_cycle(self, rng):
+        # 90% of values identical (worse than Adult's 46% spike).
+        n = 600
+        s = rng.integers(0, 2, n)
+        u = np.zeros(n, dtype=int)
+        base = np.where(rng.random(n) < 0.9, 40.0,
+                        rng.normal(45.0 + 5.0 * s, 5.0))
+        data = FairnessDataset(base.reshape(-1, 1), s, u)
+        split = data.split(n_research=200, rng=rng)
+        repairer = DistributionalRepairer(
+            n_states=20, marginal_estimator="linear", rng=0)
+        repaired = repairer.fit(split.research).transform(split.archive)
+        assert np.isfinite(repaired.features).all()
+
+    def test_extreme_scale_features(self, rng):
+        # 1e8 magnitudes must not break the solvers or the metric.
+        n = 500
+        s = rng.integers(0, 2, n)
+        u = rng.integers(0, 2, n)
+        x = (rng.normal(size=(n, 1)) + s[:, None]) * 1e8
+        data = FairnessDataset(x, s, u)
+        split = data.split(n_research=200, rng=rng)
+        repairer = DistributionalRepairer(n_states=20, rng=0)
+        repaired = repairer.fit(split.research).transform(split.archive)
+        after = conditional_dependence_energy(repaired.features,
+                                              repaired.s, repaired.u)
+        assert np.isfinite(after.total)
+
+    def test_tiny_scale_features(self, rng):
+        n = 500
+        s = rng.integers(0, 2, n)
+        u = rng.integers(0, 2, n)
+        x = (rng.normal(size=(n, 1)) + s[:, None]) * 1e-8
+        data = FairnessDataset(x, s, u)
+        split = data.split(n_research=200, rng=rng)
+        repairer = DistributionalRepairer(n_states=20, rng=0)
+        repaired = repairer.fit(split.research).transform(split.archive)
+        assert np.isfinite(repaired.features).all()
+
+
+class TestAdversarialLabels:
+    def test_single_row_groups(self, rng):
+        # Geometric repair with a single point in one class must not
+        # crash (mass splits across the other group).
+        data = FairnessDataset(
+            np.concatenate([[0.0], rng.normal(size=9)]).reshape(-1, 1),
+            np.array([0] + [1] * 9), np.zeros(10, dtype=int))
+        repaired = GeometricRepairer().fit_transform(data)
+        assert np.isfinite(repaired.features).all()
+
+    def test_all_one_sided_u_group_rejected_cleanly(self, rng):
+        x = rng.normal(size=(20, 1))
+        s = np.array([0] * 10 + [1] * 10)
+        u = np.array([0] * 10 + [1] * 10)  # u groups are single-class
+        data = FairnessDataset(x, s, u)
+        repairer = DistributionalRepairer(n_states=10)
+        with pytest.raises(ValidationError):
+            repairer.fit(data)
+
+    def test_metric_with_extreme_imbalance(self, rng):
+        # 2 vs 998 split inside one u group: finite output required.
+        n = 1000
+        s = np.zeros(n, dtype=int)
+        s[:2] = 1
+        u = np.zeros(n, dtype=int)
+        x = rng.normal(size=(n, 1))
+        report = conditional_dependence_energy(x, s, u)
+        assert np.isfinite(report.total)

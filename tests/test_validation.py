@@ -1,0 +1,134 @@
+"""Tests for the shared validation helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro._validation import (as_1d_array, as_2d_array,
+                               as_probability_vector, as_rng,
+                               check_in_range, check_positive_int,
+                               check_probability, check_same_length)
+from repro.exceptions import ValidationError
+
+
+class TestAs1dArray:
+    def test_list_is_coerced(self):
+        out = as_1d_array([1, 2, 3])
+        assert out.dtype == float
+        np.testing.assert_allclose(out, [1.0, 2.0, 3.0])
+
+    def test_scalar_becomes_length_one(self):
+        assert as_1d_array(5.0).shape == (1,)
+
+    def test_2d_rejected(self):
+        with pytest.raises(ValidationError, match="one-dimensional"):
+            as_1d_array(np.zeros((2, 2)))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError, match="non-empty"):
+            as_1d_array([])
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValidationError, match="NaN or infinite"):
+            as_1d_array([1.0, np.nan])
+
+    def test_inf_rejected(self):
+        with pytest.raises(ValidationError, match="NaN or infinite"):
+            as_1d_array([np.inf])
+
+    def test_name_appears_in_error(self):
+        with pytest.raises(ValidationError, match="weights"):
+            as_1d_array([], name="weights")
+
+
+class TestAs2dArray:
+    def test_1d_promoted_to_column(self):
+        assert as_2d_array([1.0, 2.0]).shape == (2, 1)
+
+    def test_2d_passthrough(self):
+        arr = np.arange(6.0).reshape(3, 2)
+        np.testing.assert_array_equal(as_2d_array(arr), arr)
+
+    def test_3d_rejected(self):
+        with pytest.raises(ValidationError, match="two-dimensional"):
+            as_2d_array(np.zeros((2, 2, 2)))
+
+    def test_nonfinite_rejected(self):
+        with pytest.raises(ValidationError):
+            as_2d_array([[1.0], [np.inf]])
+
+
+class TestProbabilityVector:
+    def test_valid_passthrough(self):
+        out = as_probability_vector([0.25, 0.75])
+        np.testing.assert_allclose(out, [0.25, 0.75])
+
+    def test_normalize_rescales(self):
+        out = as_probability_vector([2.0, 2.0], normalize=True)
+        np.testing.assert_allclose(out, [0.5, 0.5])
+
+    def test_unnormalised_rejected_without_flag(self):
+        with pytest.raises(ValidationError, match="sum to 1"):
+            as_probability_vector([0.5, 1.0])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValidationError, match="non-negative"):
+            as_probability_vector([-0.1, 1.1])
+
+    def test_zero_mass_rejected(self):
+        with pytest.raises(ValidationError, match="positive total mass"):
+            as_probability_vector([0.0, 0.0], normalize=True)
+
+    def test_tiny_negative_roundoff_clipped(self):
+        out = as_probability_vector([1.0, -1e-12], normalize=True)
+        assert np.all(out >= 0.0)
+
+
+class TestScalarChecks:
+    def test_check_same_length_ok(self):
+        check_same_length(np.zeros(3), np.zeros(3))
+
+    def test_check_same_length_mismatch(self):
+        with pytest.raises(ValidationError, match="same length"):
+            check_same_length(np.zeros(3), np.zeros(4), names=("a", "b"))
+
+    def test_positive_int_accepts_numpy_integer(self):
+        assert check_positive_int(np.int64(7)) == 7
+
+    def test_positive_int_rejects_float(self):
+        with pytest.raises(ValidationError, match="integer"):
+            check_positive_int(2.5)
+
+    def test_positive_int_respects_minimum(self):
+        with pytest.raises(ValidationError, match=">= 2"):
+            check_positive_int(1, minimum=2)
+
+    def test_check_in_range_inclusive_bounds(self):
+        assert check_in_range(0.0, name="t", low=0.0, high=1.0) == 0.0
+        assert check_in_range(1.0, name="t", low=0.0, high=1.0) == 1.0
+
+    def test_check_in_range_exclusive(self):
+        with pytest.raises(ValidationError):
+            check_in_range(0.0, name="t", low=0.0, high=1.0,
+                           inclusive=False)
+
+    def test_check_probability_rejects_out_of_range(self):
+        with pytest.raises(ValidationError):
+            check_probability(1.2)
+        with pytest.raises(ValidationError):
+            check_probability(-0.1)
+
+
+class TestAsRng:
+    def test_none_gives_generator(self):
+        assert isinstance(as_rng(None), np.random.Generator)
+
+    def test_int_seeds_deterministically(self):
+        a = as_rng(42).random(5)
+        b = as_rng(42).random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_generator_passthrough_shares_state(self):
+        gen = np.random.default_rng(0)
+        assert as_rng(gen) is gen
