@@ -9,13 +9,26 @@ parameters.
 Run with::
 
     pytest benchmarks/ --benchmark-only
+
+Everything under ``benchmarks/`` carries the ``slow`` marker so CI can
+deselect it with ``-m "not slow"`` while a plain local ``pytest`` run
+still executes the full harness.
 """
 
 from __future__ import annotations
 
+from pathlib import Path
 
 import numpy as np
 import pytest
+
+
+def pytest_collection_modifyitems(items):
+    # This hook sees the whole session's items; only mark ours.
+    bench_dir = str(Path(__file__).parent)
+    for item in items:
+        if str(item.fspath).startswith(bench_dir):
+            item.add_marker(pytest.mark.slow)
 
 from repro.data.adult import synthesize_adult
 from repro.data.simulated import simulate_paper_data

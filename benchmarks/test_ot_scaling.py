@@ -12,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.ot import OTProblem, solve
 from repro.ot.cost import squared_euclidean_cost
 from repro.ot.network_simplex import transport_simplex
 from repro.ot.onedim import solve_1d
@@ -48,4 +49,16 @@ def test_simplex_scaling(benchmark, n_q):
     cost = squared_euclidean_cost(nodes.reshape(-1, 1),
                                   nodes.reshape(-1, 1))
     benchmark.pedantic(transport_simplex, args=(cost, mu, nu), rounds=3,
+                       iterations=1)
+
+
+@pytest.mark.parametrize("n_q", [100, 250, 500])
+def test_screened_hybrid_scaling(benchmark, n_q):
+    """The sparse hybrid stays near-linear where the dense exact solvers
+    blow up cubically; see test_screened_hybrid.py for the head-to-head."""
+    nodes, mu, nu = _problem(n_q)
+    problem = OTProblem(source_weights=mu, target_weights=nu,
+                        source_support=nodes, target_support=nodes)
+    benchmark.pedantic(solve, args=(problem,),
+                       kwargs={"method": "screened"}, rounds=3,
                        iterations=1)

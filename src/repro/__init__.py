@@ -6,10 +6,30 @@ Fairness: Archival Data Repair using Small Research Data Sets"* (ICDE 2024).
 Quick tour
 ----------
 
+The repair machinery sits on one unified OT entry point: describe a
+problem with :class:`~repro.ot.problem.OTProblem`, call
+:func:`~repro.ot.solve.solve`, get an
+:class:`~repro.ot.problem.OTResult` back — whichever registered solver
+ran (``available_solvers()`` lists them; ``"auto"`` dispatches on
+problem structure):
+
+>>> from repro.ot import OTProblem, solve
+>>> problem = OTProblem(source_weights=[0.5, 0.5],
+...                     target_weights=[0.5, 0.5],
+...                     source_support=[0.0, 1.0],
+...                     target_support=[0.0, 2.0])
+>>> result = solve(problem)                 # auto -> monotone closed form
+>>> result.solver, result.converged, result.marginal_residual <= 1e-12
+('exact', True, True)
+
+The estimator API rides on top; ``solver=`` accepts any
+registry-resolvable spec (``"exact"``, ``"simplex"``, ``"sinkhorn"``,
+``"screened"``, a callable, ...):
+
 >>> from repro import simulate_paper_data, DistributionalRepairer
 >>> from repro import conditional_dependence_energy
 >>> split = simulate_paper_data(n_research=500, n_archive=5000, rng=0)
->>> repairer = DistributionalRepairer(n_states=50, rng=0)
+>>> repairer = DistributionalRepairer(n_states=50, solver="exact", rng=0)
 >>> _ = repairer.fit(split.research)                  # Algorithm 1
 >>> repaired = repairer.transform(split.archive)      # Algorithm 2
 >>> report = conditional_dependence_energy(
@@ -21,8 +41,9 @@ Subpackages
 -----------
 
 ``repro.ot``
-    Optimal-transport substrate (exact 1-D, simplex, Sinkhorn,
-    barycentres).
+    Optimal-transport substrate behind the unified ``solve()`` facade:
+    pluggable solver registry, exact 1-D, simplex, LP, Sinkhorn, the
+    Sinkhorn-screened sparse hybrid, barycentres.
 ``repro.density``
     KDE, bandwidth selection, interpolation grids.
 ``repro.metrics``
@@ -52,6 +73,8 @@ from .exceptions import (ConvergenceError, DataError, InfeasibleProblemError,
                          ValidationError)
 from .metrics import (conditional_dependence_energy, disparate_impact,
                       conditional_disparate_impact, symmetric_kl)
+from .ot import (OTProblem, OTResult, Solver, available_solvers,
+                 register_solver, solve)
 
 __version__ = "1.0.0"
 
@@ -69,6 +92,8 @@ __all__ = [
     "InfeasibleProblemError",
     "LogisticRegression",
     "NotFittedError",
+    "OTProblem",
+    "OTResult",
     "PartialRepairer",
     "RepairPipeline",
     "RepairPlan",
@@ -76,10 +101,12 @@ __all__ = [
     "ReproError",
     "ResearchArchiveSplit",
     "SchemaError",
+    "Solver",
     "SubgroupLabelModel",
     "TableSchema",
     "ValidationError",
     "__version__",
+    "available_solvers",
     "conditional_dependence_energy",
     "conditional_disparate_impact",
     "design_repair",
@@ -87,10 +114,12 @@ __all__ = [
     "load_adult_csv",
     "load_plan",
     "paper_simulation_spec",
+    "register_solver",
     "save_plan",
     "repair_damage",
     "repair_dataset",
     "simulate_paper_data",
+    "solve",
     "symmetric_kl",
     "synthesize_adult",
 ]

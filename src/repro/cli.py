@@ -5,7 +5,8 @@
 * ``experiment {table1,table2,fig3,fig4}`` — regenerate a paper artefact;
 * ``design`` — fit repair plans on a labelled CSV and save them;
 * ``repair`` — apply saved plans to an archival CSV;
-* ``evaluate`` — measure the conditional-dependence metric of a CSV.
+* ``evaluate`` — measure the conditional-dependence metric of a CSV;
+* ``solvers`` — list the registered OT solvers ``--solver`` accepts.
 
 CSV layout for the data commands: a header row, one column per feature,
 plus integer columns named ``s`` and ``u`` (configurable).
@@ -26,6 +27,7 @@ from .data.dataset import FairnessDataset
 from .data.schema import TableSchema
 from .exceptions import DataError, ReproError
 from .metrics.fairness import conditional_dependence_energy
+from .ot.registry import resolve_solver, solver_descriptions
 
 __all__ = ["main", "build_parser", "read_csv_dataset",
            "write_csv_dataset"]
@@ -120,7 +122,9 @@ def build_parser() -> argparse.ArgumentParser:
     design.add_argument("--n-states", type=int, default=50)
     design.add_argument("--t", type=float, default=0.5)
     design.add_argument("--solver", default="exact",
-                        choices=("exact", "simplex", "sinkhorn"))
+                        help="any registered OT solver name (see the "
+                             "'solvers' command); typos fail with the "
+                             "available names")
     design.add_argument("--marginal-estimator", default="kde",
                         choices=("kde", "linear"))
 
@@ -135,6 +139,9 @@ def build_parser() -> argparse.ArgumentParser:
         "evaluate", help="measure conditional dependence (E) of a CSV")
     evaluate.add_argument("data_csv")
     evaluate.add_argument("--n-grid", type=int, default=100)
+
+    commands.add_parser(
+        "solvers", help="list the registered OT solvers")
 
     return parser
 
@@ -173,7 +180,18 @@ def _run_experiment(args) -> int:
     return 0
 
 
+def _run_solvers(args) -> int:
+    descriptions = solver_descriptions()
+    width = max(len(name) for name in descriptions)
+    for name, description in descriptions.items():
+        print(f"{name:<{width}}  {description}")
+    return 0
+
+
 def _run_design(args) -> int:
+    # Resolve eagerly so a typo fails before the CSV is even read, with
+    # the registry's list of available names.
+    resolve_solver(args.solver)
     research = read_csv_dataset(args.research_csv)
     repairer = DistributionalRepairer(
         n_states=args.n_states, t=args.t, solver=args.solver,
@@ -214,6 +232,7 @@ def main(argv=None) -> int:
         "design": _run_design,
         "repair": _run_repair,
         "evaluate": _run_evaluate,
+        "solvers": _run_solvers,
     }
     try:
         return handlers[args.command](args)

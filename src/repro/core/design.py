@@ -11,10 +11,17 @@ For every ``(u, s, k)``:
 4. solve the Kantorovich problem ``π*_{u,s,k}`` from each marginal to the
    target with squared-Euclidean cost (Eq. 13).
 
-Because each problem is one-dimensional with a shared, sorted support, the
-exact plan is the monotone coupling (``solver="exact"``, the default,
-``O(n_Q)``).  The cubic transportation simplex and quadratic Sinkhorn
-solvers are available for ablations and verification.
+Every plan solve goes through the unified :func:`repro.ot.solve` facade,
+so ``solver`` accepts anything the registry resolves: a registered name
+(``"exact"``, ``"simplex"``, ``"lp"``, ``"sinkhorn"``, ``"sinkhorn_log"``,
+``"screened"``, ``"auto"``), a bare callable, or a
+:class:`~repro.ot.registry.Solver` instance.  Because each problem is
+one-dimensional with a shared, sorted support, the default ``"exact"``
+monotone coupling is optimal in ``O(n_Q)``; the other solvers exist for
+ablations, verification, and (``"screened"``) fast large-grid designs.
+The per-``(u, s, k)`` :class:`~repro.ot.problem.OTResult` diagnostics
+(convergence, residuals, wall time) are recorded on each
+:class:`~repro.core.plan.FeaturePlan`.
 """
 
 from __future__ import annotations
@@ -27,16 +34,15 @@ from ..density.grid import InterpolationGrid
 from ..density.kde import interpolate_pmf
 from ..exceptions import ValidationError
 from ..ot.barycenter import barycenter_1d, project_onto_grid
-from ..ot.cost import squared_euclidean_cost
-from ..ot.network_simplex import transport_simplex
-from ..ot.onedim import solve_1d
-from ..ot.coupling import TransportPlan
-from ..ot.sinkhorn import sinkhorn
+from ..ot.problem import OTProblem, OTResult
+from ..ot.registry import Solver, filter_opts, resolve_solver
+from ..ot.solve import solve
 from .plan import FeaturePlan, RepairPlan
 
 __all__ = ["design_repair", "design_feature_plan", "SOLVERS"]
 
-#: Plan solvers selectable in :func:`design_repair`.
+#: The paper's original plan-solver trio; kept for backwards compatibility.
+#: Any solver registered with :func:`repro.ot.register_solver` is accepted.
 SOLVERS = ("exact", "simplex", "sinkhorn")
 
 #: Minimum research observations per (u, s) subgroup.  A single point is
@@ -47,7 +53,7 @@ _MIN_GROUP_SIZE = 1
 
 
 def design_feature_plan(samples_by_s: dict, n_states: int, *, t: float = 0.5,
-                        solver: str = "exact",
+                        solver="exact",
                         marginal_estimator: str = "kde",
                         bandwidth_method: str = "silverman",
                         padding: float = 0.0,
@@ -65,9 +71,11 @@ def design_feature_plan(samples_by_s: dict, n_states: int, *, t: float = 0.5,
         Position of the repair target on the W2 geodesic; ``0.5`` is the
         fair barycentre, other values yield partial repairs.
     solver:
-        ``"exact"`` (monotone coupling), ``"simplex"`` (transportation
-        simplex) or ``"sinkhorn"`` (entropic, with regularisation
-        ``epsilon``).
+        Any spec the OT solver registry resolves: a registered name
+        (``"exact"`` — the monotone default, ``"simplex"``, ``"lp"``,
+        ``"sinkhorn"``, ``"screened"``, ...), a callable
+        ``fn(problem, **opts)``, or a
+        :class:`~repro.ot.registry.Solver` instance.
     marginal_estimator:
         ``"kde"`` — the paper's Eq. 11 Gaussian-kernel interpolation
         (default); ``"linear"`` — linear mass-splitting of the empirical
@@ -78,14 +86,15 @@ def design_feature_plan(samples_by_s: dict, n_states: int, *, t: float = 0.5,
     padding:
         Relative widening of the grid beyond the research range; non-zero
         values reduce boundary clipping of drifting archives.
+    epsilon:
+        Entropic regularisation passed to the ``"sinkhorn"`` /
+        ``"sinkhorn_log"`` / ``"screened"`` solvers; ignored otherwise.
     """
     if set(samples_by_s) != {0, 1}:
         raise ValidationError(
             f"samples_by_s must contain both s=0 and s=1, got "
             f"{sorted(samples_by_s)}")
-    if solver not in SOLVERS:
-        raise ValidationError(
-            f"unknown solver {solver!r}; expected one of {SOLVERS}")
+    resolved = resolve_solver(solver)
     t = check_probability(t, name="t")
     n_states = check_positive_int(n_states, name="n_states", minimum=2)
 
@@ -119,16 +128,18 @@ def design_feature_plan(samples_by_s: dict, n_states: int, *, t: float = 0.5,
         }
     target = barycenter_1d(grid.nodes, marginals[0], grid.nodes,
                            marginals[1], grid.nodes, t=t)
-    transports = {
-        s: _solve_plan(grid.nodes, marginals[s], target, solver, epsilon)
+    results = {
+        s: _solve_plan(grid.nodes, marginals[s], target, resolved, epsilon)
         for s in (0, 1)
     }
     return FeaturePlan(grid=grid, marginals=marginals, barycenter=target,
-                       transports=transports)
+                       transports={s: r.plan for s, r in results.items()},
+                       diagnostics={s: r.summary()
+                                    for s, r in results.items()})
 
 
 def design_repair(research: FairnessDataset, n_states=50, *, t: float = 0.5,
-                  solver: str = "exact",
+                  solver="exact",
                   marginal_estimator: str = "kde",
                   bandwidth_method: str = "silverman",
                   padding: float = 0.0, epsilon: float = 5e-3) -> RepairPlan:
@@ -141,12 +152,17 @@ def design_repair(research: FairnessDataset, n_states=50, *, t: float = 0.5,
     n_states:
         Either a single ``n_Q`` used everywhere (the paper's choice), or a
         mapping ``(u, k) -> n_Q`` for per-cell resolutions.
+    solver:
+        Any registry-resolvable solver spec (see
+        :func:`design_feature_plan`).
 
     Returns
     -------
     RepairPlan
-        Every ``π*_{u,s,k}`` plus supports and design metadata.
+        Every ``π*_{u,s,k}`` plus supports, design metadata, and the
+        per-cell :class:`~repro.ot.problem.OTResult` diagnostics.
     """
+    resolved = resolve_solver(solver)
     feature_plans: dict = {}
     for u in research.u_values:
         group = research.group(int(u))
@@ -161,20 +177,33 @@ def design_repair(research: FairnessDataset, n_states=50, *, t: float = 0.5,
                 s: group.features[group.s == s, k] for s in (0, 1)
             }
             feature_plans[(int(u), k)] = design_feature_plan(
-                samples_by_s, cell_states, t=t, solver=solver,
+                samples_by_s, cell_states, t=t, solver=resolved,
                 marginal_estimator=marginal_estimator,
                 bandwidth_method=bandwidth_method, padding=padding,
                 epsilon=epsilon)
 
+    ot_wall_time = 0.0
+    n_unconverged = 0
+    epsilon_used = False
+    for plan in feature_plans.values():
+        for record in plan.diagnostics.values():
+            ot_wall_time += float(record.get("wall_time", 0.0))
+            n_unconverged += int(not record.get("converged", True))
+            # Entropic solvers surface their epsilon in the per-cell
+            # diagnostics; its presence means the knob actually ran
+            # (e.g. "auto" dispatching to "exact" never uses it).
+            epsilon_used = epsilon_used or "epsilon" in record
     metadata = {
-        "solver": solver,
+        "solver": resolved.name,
         "marginal_estimator": marginal_estimator,
         "bandwidth_method": bandwidth_method,
         "padding": padding,
         "n_research": len(research),
         "group_sizes": research.group_sizes(),
+        "ot_wall_time": ot_wall_time,
+        "n_unconverged": n_unconverged,
     }
-    if solver == "sinkhorn":
+    if epsilon_used:
         metadata["epsilon"] = epsilon
     return RepairPlan(feature_plans=feature_plans,
                       n_features=research.n_features, t=t,
@@ -194,17 +223,14 @@ def _resolve_states(n_states, u: int, k: int) -> int:
 
 
 def _solve_plan(nodes: np.ndarray, marginal: np.ndarray,
-                target: np.ndarray, solver: str,
-                epsilon: float) -> TransportPlan:
-    """Solve ``π*`` from an interpolated marginal to the barycentric target."""
-    if solver == "exact":
-        return solve_1d(nodes, marginal, nodes, target, p=2)
-    cost = squared_euclidean_cost(nodes.reshape(-1, 1),
-                                  nodes.reshape(-1, 1))
-    if solver == "simplex":
-        matrix = transport_simplex(cost, marginal, target)
-    else:
-        matrix = sinkhorn(cost, marginal, target, epsilon=epsilon,
-                          tol=1e-10, raise_on_failure=False).plan
-    value = float(np.sum(cost * matrix))
-    return TransportPlan(matrix, nodes, nodes, value)
+                target: np.ndarray, solver: Solver,
+                epsilon: float) -> OTResult:
+    """Solve ``π*`` from an interpolated marginal to the barycentric target
+    through the unified facade."""
+    problem = OTProblem(source_weights=marginal, target_weights=target,
+                        source_support=nodes, target_support=nodes, p=2)
+    # Offer the design's tuning knobs to whichever solver runs —
+    # signature filtering delivers epsilon/tol only to solvers (built-in
+    # or user-registered) that declare them or take **kwargs.
+    opts = filter_opts(solver, {"epsilon": epsilon, "tol": 1e-10})
+    return solve(problem, method=solver, **opts)

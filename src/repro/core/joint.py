@@ -36,7 +36,9 @@ from ..density.kde import gaussian_kernel
 from ..exceptions import NotFittedError, ValidationError
 from ..ot.barycenter import sinkhorn_barycenter
 from ..ot.cost import squared_euclidean_cost
-from ..ot.sinkhorn import sinkhorn
+from ..ot.problem import OTProblem
+from ..ot.registry import filter_opts, resolve_solver
+from ..ot.solve import solve
 
 __all__ = ["JointFeaturePlan", "JointRepairPlan", "design_joint_repair",
            "JointDistributionalRepairer"]
@@ -127,8 +129,17 @@ def design_joint_repair(research: FairnessDataset, n_states: int = 15, *,
                         t: float = 0.5, epsilon: float = 5e-3,
                         bandwidth_method: str = "silverman",
                         padding: float = 0.0,
-                        max_iter: int = 20_000) -> JointRepairPlan:
-    """Design the joint repair on a product grid, per ``u`` group."""
+                        max_iter: int = 20_000,
+                        solver="sinkhorn") -> JointRepairPlan:
+    """Design the joint repair on a product grid, per ``u`` group.
+
+    ``solver`` is any registry-resolvable spec for the plan solves; the
+    barycentre itself is always entropic.  The product-grid problems are
+    multi-dimensional, so the 1-D ``"exact"`` solver is not applicable —
+    ``"sinkhorn"`` (default) and ``"screened"`` are the practical
+    choices.
+    """
+    resolved = resolve_solver(solver)
     n_states = check_positive_int(n_states, name="n_states", minimum=2)
     t = check_probability(t, name="t")
     d = research.n_features
@@ -139,6 +150,7 @@ def design_joint_repair(research: FairnessDataset, n_states: int = 15, *,
             "or use the per-feature DistributionalRepairer")
 
     group_plans = {}
+    ot_diagnostics: dict = {}
     for u in research.u_values:
         group = research.group(int(u))
         if not ((group.s == 0).any() and (group.s == 1).any()):
@@ -162,9 +174,17 @@ def design_joint_repair(research: FairnessDataset, n_states: int = 15, *,
                                      tol=1e-9)
         conditionals = {}
         for s in (0, 1):
-            plan = sinkhorn(cost, marginals[s], target, epsilon=epsilon,
-                            max_iter=max_iter, tol=1e-9,
-                            raise_on_failure=False).plan
+            problem = OTProblem.from_cost(cost, marginals[s], target)
+            # Signature-filtered: sinkhorn takes epsilon/max_iter/tol,
+            # screened maps the iteration budget to its screening phase,
+            # and exact solvers receive none of these.
+            opts = filter_opts(resolved, {"epsilon": epsilon,
+                                          "max_iter": max_iter,
+                                          "screen_max_iter": max_iter,
+                                          "tol": 1e-9})
+            result = solve(problem, method=resolved, **opts)
+            ot_diagnostics.setdefault(int(u), {})[s] = result.summary()
+            plan = result.matrix
             rows = plan.sum(axis=1, keepdims=True)
             rows[rows <= 1e-300] = 1.0
             conditionals[s] = plan / rows
@@ -174,7 +194,9 @@ def design_joint_repair(research: FairnessDataset, n_states: int = 15, *,
 
     metadata = {"epsilon": epsilon, "n_states": n_states,
                 "bandwidth_method": bandwidth_method,
-                "n_research": len(research)}
+                "n_research": len(research),
+                "solver": resolved.name,
+                "ot": ot_diagnostics}
     return JointRepairPlan(group_plans=group_plans, n_features=d, t=t,
                            metadata=metadata)
 
@@ -183,18 +205,23 @@ class JointDistributionalRepairer:
     """fit/transform wrapper around the joint product-grid repair.
 
     Parameters mirror :class:`~repro.core.repair.DistributionalRepairer`
-    where applicable; the solver is always entropic.
+    where applicable; ``solver`` takes any registry-resolvable spec
+    suitable for multi-dimensional problems (``"sinkhorn"`` default,
+    ``"screened"`` for an exact-on-sparse-support alternative).
     """
 
     def __init__(self, n_states: int = 15, *, t: float = 0.5,
                  epsilon: float = 5e-3,
                  bandwidth_method: str = "silverman",
-                 padding: float = 0.0, rng=None) -> None:
+                 padding: float = 0.0, solver="sinkhorn",
+                 rng=None) -> None:
+        resolve_solver(solver)  # fail fast on typos
         self.n_states = n_states
         self.t = t
         self.epsilon = epsilon
         self.bandwidth_method = bandwidth_method
         self.padding = padding
+        self.solver = solver
         self._rng = as_rng(rng)
         self._plan: JointRepairPlan | None = None
 
@@ -212,7 +239,8 @@ class JointDistributionalRepairer:
     def fit(self, research: FairnessDataset) -> "JointDistributionalRepairer":
         self._plan = design_joint_repair(
             research, self.n_states, t=self.t, epsilon=self.epsilon,
-            bandwidth_method=self.bandwidth_method, padding=self.padding)
+            bandwidth_method=self.bandwidth_method, padding=self.padding,
+            solver=self.solver)
         return self
 
     def transform(self, dataset: FairnessDataset, *,

@@ -63,7 +63,10 @@ class RepairPipeline:
         Evaluation-grid resolution of the ``E`` estimator used in reports.
     **repairer_kwargs:
         Forwarded to :class:`DistributionalRepairer` (``n_states``, ``t``,
-        ``solver``, ...).
+        ``solver``, ...).  ``solver`` accepts any OT-registry-resolvable
+        spec — a registered name, a callable, or a
+        :class:`~repro.ot.registry.Solver` — so the whole pipeline runs
+        on a pluggable OT backend.
     """
 
     def __init__(self, *, estimate_labels: bool = False, n_grid: int = 100,
@@ -78,6 +81,13 @@ class RepairPipeline:
     @property
     def repairer(self) -> DistributionalRepairer:
         return self._repairer
+
+    def design_diagnostics(self) -> dict:
+        """Per-cell OT solver diagnostics of the fitted design.
+
+        ``(u, k) -> {s -> OTResult summary}``; raises before ``fit``.
+        """
+        return self._repairer.plan.solver_diagnostics()
 
     @property
     def label_model(self) -> SubgroupLabelModel:

@@ -39,12 +39,17 @@ class FeaturePlan:
         The repair target ``ν_{u,k}`` on the grid.
     transports:
         ``s -> TransportPlan`` with ``π*_{u,s,k}`` from marginal to target.
+    diagnostics:
+        ``s -> OTResult.summary()`` record of the solve that produced each
+        transport (solver name, convergence, residual, wall time, ...).
+        Purely informational; empty for hand-built plans.
     """
 
     grid: InterpolationGrid
     marginals: dict
     barycenter: np.ndarray
     transports: dict
+    diagnostics: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         n_states = self.grid.n_states
@@ -65,7 +70,10 @@ class FeaturePlan:
                 raise ValidationError(
                     f"transport for s={s} has shape {plan.shape}, expected "
                     f"({n_states}, {n_states})")
+        if not isinstance(self.diagnostics, dict):
+            raise ValidationError("diagnostics must be a dict")
         object.__setattr__(self, "barycenter", bary)
+        object.__setattr__(self, "_cdf_cache", {})
 
     @property
     def s_values(self) -> tuple:
@@ -75,13 +83,18 @@ class FeaturePlan:
         """Row-wise CDFs of ``π*_{·,s}``; the sampler of Algorithm 2 Eq. 15.
 
         Row ``q`` is the cumulative distribution of the repaired state given
-        source state ``q``.
+        source state ``q``.  The array is computed once per ``s`` and
+        cached (Algorithm 2 calls this on every batch), so callers must
+        treat it as read-only and copy before mutating.
         """
         if s not in self.transports:
             raise ValidationError(
                 f"no transport plan for s={s}; have {self.s_values}")
-        conditionals = self.transports[s].conditional_matrix()
-        return np.cumsum(conditionals, axis=1)
+        cache = getattr(self, "_cdf_cache")
+        if s not in cache:
+            conditionals = self.transports[s].conditional_matrix()
+            cache[s] = np.cumsum(conditionals, axis=1)
+        return cache[s]
 
     def expected_targets(self, s: int) -> np.ndarray:
         """Conditional-mean repaired value per source state (deterministic
@@ -152,3 +165,13 @@ class RepairPlan:
         """Sum of grid sizes across all cells (a size/cost diagnostic)."""
         return sum(plan.grid.n_states
                    for plan in self.feature_plans.values())
+
+    def solver_diagnostics(self) -> dict:
+        """``(u, k) -> {s -> OTResult summary}`` for every designed cell.
+
+        Empty inner dicts for plans built without the unified
+        :func:`repro.ot.solve` facade (e.g. loaded from a pre-diagnostics
+        archive).
+        """
+        return {cell: dict(plan.diagnostics)
+                for cell, plan in self.feature_plans.items()}

@@ -25,6 +25,7 @@ from .._validation import as_rng
 from ..data.dataset import FairnessDataset
 from ..data.streaming import ArchiveStream
 from ..exceptions import NotFittedError, ValidationError
+from ..ot.registry import resolve_solver
 from .design import design_repair
 from .plan import FeaturePlan, RepairPlan
 
@@ -90,7 +91,10 @@ def repair_feature_values(values, feature_plan: FeaturePlan, s: int, *,
     draws = generator.random(xs.size)
     # Vectorised inverse-CDF sampling: one searchsorted per point into its
     # own row.  Guard the last column against round-off (< 1.0 sums).
-    row_cdfs = cdfs[rows]
+    # `cdfs` is the FeaturePlan's cached array (shared across calls), so
+    # the clamp below must only ever touch a fresh copy — np.take
+    # guarantees one regardless of how `rows` is shaped.
+    row_cdfs = np.take(cdfs, rows, axis=0)
     row_cdfs[:, -1] = 1.0
     states = (row_cdfs < draws[:, None]).sum(axis=1)
     states = np.minimum(states, grid.n_states - 1)
@@ -149,7 +153,12 @@ class DistributionalRepairer:
         Repair-target position on the W2 geodesic; ``0.5`` = full fair
         repair, smaller values move the target toward ``µ_0``.
     solver:
-        Plan solver — ``"exact"`` (default), ``"simplex"``, ``"sinkhorn"``.
+        Plan solver — any spec the OT registry resolves: a registered
+        name (``"exact"`` default, ``"simplex"``, ``"lp"``,
+        ``"sinkhorn"``, ``"sinkhorn_log"``, ``"screened"``, ``"auto"``),
+        a callable ``fn(problem, **opts)``, or a
+        :class:`~repro.ot.registry.Solver` instance.  Typos fail at
+        construction time with the list of available solvers.
     rounding, output:
         Algorithm-2 randomisation controls (see
         :func:`repair_feature_values`).
@@ -159,7 +168,7 @@ class DistributionalRepairer:
     """
 
     def __init__(self, n_states=50, *, t: float = 0.5,
-                 solver: str = "exact",
+                 solver="exact",
                  marginal_estimator: str = "kde",
                  bandwidth_method: str = "silverman",
                  padding: float = 0.0, epsilon: float = 5e-3,
@@ -171,6 +180,7 @@ class DistributionalRepairer:
         if output not in OUTPUT_MODES:
             raise ValidationError(
                 f"unknown output {output!r}; expected {OUTPUT_MODES}")
+        resolve_solver(solver)  # fail fast on typos, before any fitting
         self.n_states = n_states
         self.t = t
         self.solver = solver

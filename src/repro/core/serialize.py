@@ -47,6 +47,16 @@ def save_plan(plan: RepairPlan, path) -> Path:
         "t": plan.t,
         "metadata": _jsonable(plan.metadata),
         "cells": [[int(u), int(k)] for (u, k) in sorted(plan.feature_plans)],
+        # Per-cell OTResult summaries; optional (absent in old archives).
+        "diagnostics": {
+            f"{int(u)}_{int(k)}": {
+                str(s): _jsonable(record) if isinstance(record, dict)
+                else _scalar(record)
+                for s, record in feature_plan.diagnostics.items()
+            }
+            for (u, k), feature_plan in plan.feature_plans.items()
+            if feature_plan.diagnostics
+        },
     }
     arrays = {"__header__": np.frombuffer(
         json.dumps(header).encode("utf-8"), dtype=np.uint8)}
@@ -86,6 +96,7 @@ def load_plan(path) -> RepairPlan:
                     "(missing header)")
             header = json.loads(bytes(archive["__header__"]).decode("utf-8"))
             _check_version(header, file_path)
+            all_diagnostics = header.get("diagnostics", {})
             feature_plans = {}
             for u, k in header["cells"]:
                 prefix = f"cell_{u}_{k}"
@@ -98,10 +109,15 @@ def load_plan(path) -> RepairPlan:
                     transports[s] = TransportPlan(
                         archive[f"{prefix}_plan_{s}"], nodes, nodes,
                         float(archive[f"{prefix}_cost_{s}"]))
+                diagnostics = {
+                    int(s): record
+                    for s, record in all_diagnostics.get(f"{u}_{k}",
+                                                         {}).items()
+                }
                 feature_plans[(u, k)] = FeaturePlan(
                     grid=grid, marginals=marginals,
                     barycenter=archive[f"{prefix}_barycenter"],
-                    transports=transports)
+                    transports=transports, diagnostics=diagnostics)
     except (KeyError, ValueError, json.JSONDecodeError) as exc:
         raise DataError(
             f"{file_path} is corrupt or not a repro plan archive: "

@@ -1,7 +1,32 @@
-"""Optimal-transport substrate.
+"""Optimal-transport substrate with a single unified entry point.
 
-Everything the repair algorithms need from OT, implemented from scratch:
+Every discrete OT solve in the library goes through one facade::
 
+    from repro.ot import OTProblem, solve
+
+    problem = OTProblem(source_weights=mu, target_weights=nu,
+                        source_support=xs, target_support=ys)
+    result = solve(problem)               # method="auto"
+    result.plan        # TransportPlan coupling
+    result.value       # <C, plan>
+    result.converged   # solver met its tolerance
+    result.solver      # which registered solver ran
+
+``solve`` is backed by a pluggable registry: ``method=`` accepts any
+registered name (``available_solvers()`` lists them), a bare callable, or
+a :class:`~repro.ot.registry.Solver`.  New solvers plug in with the
+:func:`~repro.ot.registry.register_solver` decorator — no core changes
+needed.  ``method="auto"`` dispatches on problem structure: the
+closed-form monotone coupling for 1-D convex costs, the dense simplex for
+small problems, the HiGHS LP for medium ones, and the Sinkhorn-screened
+sparse hybrid (``"screened"``) for large supports.
+
+Modules
+-------
+
+* :mod:`~repro.ot.problem` — :class:`OTProblem` / :class:`OTResult`.
+* :mod:`~repro.ot.registry` — the pluggable solver registry.
+* :mod:`~repro.ot.solve` — the facade and the built-in solvers.
 * :mod:`~repro.ot.cost` — ground-cost matrices (``L_p^p`` family).
 * :mod:`~repro.ot.coupling` — :class:`TransportPlan` container.
 * :mod:`~repro.ot.onedim` — closed-form 1-D OT (monotone couplings).
@@ -10,6 +35,10 @@ Everything the repair algorithms need from OT, implemented from scratch:
 * :mod:`~repro.ot.sinkhorn` — entropic OT.
 * :mod:`~repro.ot.barycenter` — W2 barycentres / geodesics.
 * :mod:`~repro.ot.wasserstein` — ``W_p`` distances.
+
+The historical per-solver entry points (``solve_1d``, ``solve_transport``,
+``transport_simplex``, ``solve_transport_lp``, ``solve_sinkhorn``) remain
+available as thin shims over :func:`solve`.
 """
 
 from .barycenter import (barycenter_1d, geodesic_point_1d, project_onto_grid,
@@ -21,14 +50,24 @@ from .lp import solve_transport_lp, transport_lp
 from .network_simplex import solve_transport, transport_simplex
 from .onedim import (monotone_map, north_west_corner, quantile_function,
                      solve_1d, wasserstein_1d)
+from .problem import OTProblem, OTResult
+from .registry import (Solver, available_solvers, register_solver,
+                       resolve_solver, solver_descriptions,
+                       unregister_solver)
 from .sinkhorn import SinkhornResult, sinkhorn, sinkhorn_log, solve_sinkhorn
 from .sliced import random_directions, sliced_wasserstein
+from .solve import auto_method, solve
 from .unbalanced import sinkhorn_unbalanced
 from .wasserstein import wasserstein_distance, wasserstein_sample_distance
 
 __all__ = [
-    "TransportPlan",
+    "OTProblem",
+    "OTResult",
     "SinkhornResult",
+    "Solver",
+    "TransportPlan",
+    "auto_method",
+    "available_solvers",
     "barycenter_1d",
     "cost_matrix",
     "euclidean_cost",
@@ -42,18 +81,23 @@ __all__ = [
     "project_onto_grid",
     "quantile_function",
     "random_directions",
+    "register_solver",
+    "resolve_solver",
     "sinkhorn",
     "sinkhorn_barycenter",
     "sinkhorn_log",
     "sinkhorn_unbalanced",
     "sliced_wasserstein",
+    "solve",
     "solve_1d",
     "solve_sinkhorn",
     "solve_transport",
     "solve_transport_lp",
+    "solver_descriptions",
     "squared_euclidean_cost",
     "transport_lp",
     "transport_simplex",
+    "unregister_solver",
     "wasserstein_1d",
     "wasserstein_distance",
     "wasserstein_sample_distance",

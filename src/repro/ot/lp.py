@@ -39,32 +39,56 @@ def transport_lp(cost: np.ndarray, source_weights, target_weights) -> np.ndarray
         raise ValidationError(
             f"cost shape {cost.shape} incompatible with marginals "
             f"({mu.size}, {nu.size})")
+    matrix, _ = _lp_matrix(cost, mu, nu)
+    return matrix
 
+
+def _lp_matrix(cost: np.ndarray, mu: np.ndarray,
+               nu: np.ndarray) -> tuple[np.ndarray, int]:
+    """The HiGHS solve on validated inputs; returns ``(plan, nit)``."""
+    n, m = cost.shape
     # Row-marginal constraints: each row of the plan sums to mu_i.
     row_blocks = sparse.kron(sparse.eye(n), np.ones((1, m)), format="csr")
     # Column-marginal constraints (last one dropped as redundant).
     col_blocks = sparse.kron(np.ones((1, n)), sparse.eye(m), format="csr")[:-1]
     a_eq = sparse.vstack([row_blocks, col_blocks], format="csr")
     b_eq = np.concatenate([mu, nu[:-1]])
+    result = _linprog_with_presolve_retry(cost.ravel(), a_eq, b_eq,
+                                          what="the transport LP")
+    plan = result.x.reshape(n, m)
+    return np.clip(plan, 0.0, None), int(getattr(result, "nit", 0) or 0)
 
-    result = linprog(cost.ravel(), A_eq=a_eq, b_eq=b_eq,
-                     bounds=(0.0, None), method="highs")
+
+def _linprog_with_presolve_retry(c, a_eq, b_eq, *, what: str,
+                                 presolve_retry: bool = True):
+    """HiGHS solve shared by the dense and mask-restricted transport LPs.
+
+    HiGHS presolve occasionally mis-declares large balanced transport
+    problems infeasible, so an "infeasible" outcome is retried without
+    presolve before giving up.  Pass ``presolve_retry=False`` when the
+    problem may be *genuinely* infeasible (a user-restricted support
+    whose feasibility is unknown) — there the retry would only double
+    the cost of a legitimate failure.
+    """
+    result = linprog(c, A_eq=a_eq, b_eq=b_eq, bounds=(0.0, None),
+                     method="highs")
+    if result.status == 2 and presolve_retry:
+        result = linprog(c, A_eq=a_eq, b_eq=b_eq, bounds=(0.0, None),
+                         method="highs", options={"presolve": False})
     if not result.success:
         raise ConvergenceError(
-            f"linprog failed to solve the transport LP: {result.message}")
-    plan = result.x.reshape(n, m)
-    return np.clip(plan, 0.0, None)
+            f"linprog failed to solve {what}: {result.message}")
+    return result
 
 
 def solve_transport_lp(cost: np.ndarray, source_weights, target_weights,
                        source_support=None,
                        target_support=None) -> TransportPlan:
-    """Like :func:`transport_lp` but wrapped in a :class:`TransportPlan`."""
-    matrix = transport_lp(cost, source_weights, target_weights)
-    n, m = matrix.shape
-    if source_support is None:
-        source_support = np.arange(n, dtype=float)
-    if target_support is None:
-        target_support = np.arange(m, dtype=float)
-    value = float(np.sum(np.asarray(cost, dtype=float) * matrix))
-    return TransportPlan(matrix, source_support, target_support, value)
+    """Like :func:`transport_lp` but wrapped in a :class:`TransportPlan`.
+
+    Thin shim over :func:`repro.ot.solve` with ``method="lp"``.
+    """
+    from .solve import solve
+    return solve(cost, source_weights, target_weights, method="lp",
+                 source_support=source_support,
+                 target_support=target_support).plan

@@ -35,6 +35,8 @@ def transport_simplex(cost: np.ndarray, source_weights, target_weights, *,
                       tol: float = 1e-10) -> np.ndarray:
     """Return the optimal plan matrix for the balanced transport LP.
 
+    Thin shim over :func:`repro.ot.solve` with ``method="simplex"``.
+
     Parameters
     ----------
     cost:
@@ -46,6 +48,51 @@ def transport_simplex(cost: np.ndarray, source_weights, target_weights, *,
         Pivot budget; defaults to ``50 * (n + m)`` which is generous for the
         problem sizes this library produces.
     """
+    from .solve import solve
+    _check_legacy_shapes(cost, source_weights, target_weights)
+    return solve(cost, source_weights, target_weights, method="simplex",
+                 max_iter=max_iter, tol=tol).matrix
+
+
+def solve_transport(cost: np.ndarray, source_weights, target_weights,
+                    source_support=None, target_support=None, *,
+                    max_iter: int | None = None,
+                    tol: float = 1e-10) -> TransportPlan:
+    """Like :func:`transport_simplex` but returns a :class:`TransportPlan`.
+
+    Thin shim over :func:`repro.ot.solve`; when supports are omitted,
+    integer index supports are attached so the plan object remains fully
+    usable (conditional rows, projections).
+    """
+    from .solve import solve
+    _check_legacy_shapes(cost, source_weights, target_weights)
+    return solve(cost, source_weights, target_weights, method="simplex",
+                 source_support=source_support,
+                 target_support=target_support,
+                 max_iter=max_iter, tol=tol).plan
+
+
+def _check_legacy_shapes(cost, source_weights, target_weights) -> None:
+    """Preserve the historical error contract of these entry points:
+    a marginal-size mismatch is an *infeasible problem*, not a plain
+    validation failure."""
+    cost = np.asarray(cost, dtype=float)
+    if cost.ndim != 2:
+        raise ValidationError(f"cost must be 2-D, got shape {cost.shape}")
+    mu = as_probability_vector(source_weights, name="source_weights",
+                               normalize=True)
+    nu = as_probability_vector(target_weights, name="target_weights",
+                               normalize=True)
+    if mu.size != cost.shape[0] or nu.size != cost.shape[1]:
+        raise InfeasibleProblemError(
+            f"cost shape {cost.shape} incompatible with marginal sizes "
+            f"({mu.size}, {nu.size})")
+
+
+def _transport_simplex_core(cost, source_weights, target_weights, *,
+                            max_iter: int | None = None,
+                            tol: float = 1e-10) -> tuple[np.ndarray, int]:
+    """The actual MODI iteration; returns ``(plan, pivots_performed)``."""
     cost = np.asarray(cost, dtype=float)
     if cost.ndim != 2:
         raise ValidationError(f"cost must be 2-D, got shape {cost.shape}")
@@ -64,7 +111,7 @@ def transport_simplex(cost: np.ndarray, source_weights, target_weights, *,
     plan, basis = _north_west_start(mu, nu)
     _complete_degenerate_basis(basis, n, m)
 
-    for _ in range(max_iter):
+    for pivots in range(max_iter):
         potentials_u, potentials_v = _solve_potentials(cost, basis, n, m)
         reduced = cost - potentials_u[:, None] - potentials_v[None, :]
         # Basic cells have zero reduced cost by construction; mask them so
@@ -73,31 +120,11 @@ def transport_simplex(cost: np.ndarray, source_weights, target_weights, *,
             reduced[bi, bj] = 0.0
         enter = np.unravel_index(np.argmin(reduced), reduced.shape)
         if reduced[enter] >= -tol:
-            return plan
+            return plan, pivots
         _pivot(plan, basis, enter, n, m)
     raise ConvergenceError(
         "transportation simplex exceeded its pivot budget",
         iterations=max_iter)
-
-
-def solve_transport(cost: np.ndarray, source_weights, target_weights,
-                    source_support=None, target_support=None, *,
-                    max_iter: int | None = None,
-                    tol: float = 1e-10) -> TransportPlan:
-    """Like :func:`transport_simplex` but returns a :class:`TransportPlan`.
-
-    When supports are omitted, integer index supports are attached so the
-    plan object remains fully usable (conditional rows, projections).
-    """
-    matrix = transport_simplex(cost, source_weights, target_weights,
-                               max_iter=max_iter, tol=tol)
-    n, m = matrix.shape
-    if source_support is None:
-        source_support = np.arange(n, dtype=float)
-    if target_support is None:
-        target_support = np.arange(m, dtype=float)
-    value = float(np.sum(np.asarray(cost, dtype=float) * matrix))
-    return TransportPlan(matrix, source_support, target_support, value)
 
 
 # -- internals --------------------------------------------------------------

@@ -66,8 +66,10 @@ def solve_1d(source_support, source_weights, target_support, target_weights,
              *, p: int = 2) -> TransportPlan:
     """Exact 1-D optimal transport between weighted discrete supports.
 
-    Sorts both supports, applies :func:`north_west_corner`, and un-sorts the
-    result so the returned plan is indexed by the *original* support order.
+    Thin shim over :func:`repro.ot.solve` with ``method="exact"`` (the
+    monotone coupling): sorts both supports, applies
+    :func:`north_west_corner`, and un-sorts the result so the returned
+    plan is indexed by the *original* support order.
 
     Parameters
     ----------
@@ -75,6 +77,9 @@ def solve_1d(source_support, source_weights, target_support, target_weights,
         Exponent of the ground cost ``|x - y|^p`` used only to report the
         optimal cost; the plan itself is identical for every ``p >= 1``.
     """
+    from .problem import OTProblem
+    from .solve import solve
+
     xs = as_1d_array(source_support, name="source_support")
     ys = as_1d_array(target_support, name="target_support")
     mu = as_probability_vector(source_weights, name="source_weights",
@@ -85,17 +90,9 @@ def solve_1d(source_support, source_weights, target_support, target_weights,
         raise ValidationError("source support/weights length mismatch")
     if ys.size != nu.size:
         raise ValidationError("target support/weights length mismatch")
-
-    order_x = np.argsort(xs, kind="stable")
-    order_y = np.argsort(ys, kind="stable")
-    sorted_plan = north_west_corner(mu[order_x], nu[order_y])
-
-    plan = np.zeros_like(sorted_plan)
-    plan[np.ix_(order_x, order_y)] = sorted_plan
-
-    diff = np.abs(xs[:, None] - ys[None, :]) ** p
-    cost = float(np.sum(diff * plan))
-    return TransportPlan(plan, xs, ys, cost)
+    problem = OTProblem(source_weights=mu, target_weights=nu,
+                        source_support=xs, target_support=ys, p=p)
+    return solve(problem, method="exact").plan
 
 
 def wasserstein_1d(source_support, source_weights, target_support,

@@ -1,0 +1,310 @@
+"""Problem and result containers for the unified :func:`repro.ot.solve` API.
+
+:class:`OTProblem` describes one discrete Kantorovich problem — the two
+marginals plus *either* an explicit ground-cost matrix or the ingredients
+to build one lazily (supports and a cost factory).  :class:`OTResult`
+is the uniform outcome every registered solver returns: the coupling, its
+cost value, marginal residuals, and convergence/timing diagnostics.
+
+Together they replace the historical situation where each solver module
+had its own signature and return type; see :mod:`repro.ot.solve` for the
+facade and :mod:`repro.ot.registry` for the pluggable solver registry.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from .._validation import as_probability_vector
+from ..exceptions import ValidationError
+from .coupling import TransportPlan
+from .cost import cost_matrix as _build_cost_matrix
+
+__all__ = ["OTProblem", "OTResult", "result_from_matrix"]
+
+#: Ground-cost metrics of the ``|x - y|^p`` family: convex in the 1-D
+#: displacement, hence solvable in closed form by the monotone coupling.
+_MONOTONE_METRICS = ("sqeuclidean", "euclidean", "lp")
+
+
+@dataclass(frozen=True)
+class OTProblem:
+    """One discrete optimal-transport problem.
+
+    Attributes
+    ----------
+    source_weights, target_weights:
+        Marginals ``µ`` and ``ν``; normalised to probability vectors.
+    cost:
+        Optional explicit ``(n, m)`` ground-cost matrix.  When omitted the
+        cost is built lazily from the supports via ``cost_fn``.
+    cost_fn:
+        Either a metric name understood by :func:`repro.ot.cost.cost_matrix`
+        (``"sqeuclidean"``, ``"euclidean"``, ``"lp"``) or a callable
+        ``(source_support, target_support) -> cost``.  Defaults to the
+        paper's squared-Euclidean cost.
+    source_support, target_support:
+        Optional support points, shape ``(n,)``/``(n, d)``.  Required when
+        ``cost`` is omitted, and required for the closed-form 1-D path.
+    support_mask:
+        Optional boolean ``(n, m)`` mask of coupling entries.  Semantics
+        are per-solver: ``"lp"`` treats it as a hard restriction (the LP
+        runs on exactly these entries, unioning in an ``O(n + m)``
+        feasibility patch *only* when the restricted problem is
+        infeasible, reported via ``extras["mask_widened"]``), while
+        ``"screened"`` treats it as support to *include* alongside the
+        entropically screened top-k entries.  The monotone and dense
+        simplex solvers reject masked problems.
+    p:
+        Exponent of the ``|x - y|^p`` family used by metric-named costs
+        and by the closed-form 1-D solver.
+    """
+
+    source_weights: np.ndarray
+    target_weights: np.ndarray
+    cost: np.ndarray | None = None
+    cost_fn: Callable | str | None = None
+    source_support: np.ndarray | None = None
+    target_support: np.ndarray | None = None
+    support_mask: np.ndarray | None = None
+    p: int = 2
+
+    def __post_init__(self) -> None:
+        mu = as_probability_vector(self.source_weights,
+                                   name="source_weights", normalize=True)
+        nu = as_probability_vector(self.target_weights,
+                                   name="target_weights", normalize=True)
+        object.__setattr__(self, "source_weights", mu)
+        object.__setattr__(self, "target_weights", nu)
+
+        if self.cost is not None:
+            cost = np.asarray(self.cost, dtype=float)
+            if cost.ndim != 2:
+                raise ValidationError(
+                    f"cost must be 2-D, got shape {cost.shape}")
+            if cost.shape != (mu.size, nu.size):
+                raise ValidationError(
+                    f"cost shape {cost.shape} incompatible with marginals "
+                    f"({mu.size}, {nu.size})")
+            if not np.all(np.isfinite(cost)):
+                raise ValidationError(
+                    "cost matrix contains non-finite entries")
+            object.__setattr__(self, "cost", cost)
+
+        for attr, expected in (("source_support", mu.size),
+                               ("target_support", nu.size)):
+            support = getattr(self, attr)
+            if support is None:
+                continue
+            arr = np.asarray(support, dtype=float)
+            if arr.ndim == 1:
+                arr = arr.reshape(-1, 1)
+            if arr.ndim != 2 or arr.shape[0] != expected:
+                raise ValidationError(
+                    f"{attr} must have {expected} points, got shape "
+                    f"{np.shape(support)}")
+            if not np.all(np.isfinite(arr)):
+                raise ValidationError(f"{attr} contains non-finite entries")
+            object.__setattr__(self, attr, arr)
+
+        if self.cost is None and (self.source_support is None
+                                  or self.target_support is None):
+            raise ValidationError(
+                "an OTProblem needs either an explicit cost matrix or both "
+                "supports (so the cost can be built from cost_fn)")
+
+        if self.support_mask is not None:
+            mask = np.asarray(self.support_mask, dtype=bool)
+            if mask.shape != (mu.size, nu.size):
+                raise ValidationError(
+                    f"support_mask shape {mask.shape} incompatible with "
+                    f"marginals ({mu.size}, {nu.size})")
+            object.__setattr__(self, "support_mask", mask)
+
+        if isinstance(self.cost_fn, str) \
+                and self.cost_fn not in _MONOTONE_METRICS:
+            raise ValidationError(
+                f"unknown cost metric {self.cost_fn!r}; expected one of "
+                f"{_MONOTONE_METRICS} or a callable")
+        object.__setattr__(self, "_cost_cache", None)
+
+    # -- geometry ----------------------------------------------------------
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """``(n, m)`` plan shape."""
+        return (self.source_weights.size, self.target_weights.size)
+
+    @property
+    def is_one_dimensional(self) -> bool:
+        """True when both supports are present and one-dimensional."""
+        return (self.source_support is not None
+                and self.target_support is not None
+                and self.source_support.shape[1] == 1
+                and self.target_support.shape[1] == 1)
+
+    @property
+    def is_monotone_solvable(self) -> bool:
+        """True when the closed-form monotone coupling is provably optimal.
+
+        Requires 1-D supports and a ground cost from the convex
+        ``|x - y|^p`` family, i.e. no hand-rolled cost matrix or callable
+        whose convexity cannot be verified.
+        """
+        if not self.is_one_dimensional or self.support_mask is not None:
+            return False
+        if self.cost is not None or callable(self.cost_fn):
+            return False
+        return self.cost_fn is None or self.cost_fn in _MONOTONE_METRICS
+
+    # -- cost --------------------------------------------------------------
+
+    def cost_matrix(self) -> np.ndarray:
+        """The ground-cost matrix, built lazily and cached."""
+        if self.cost is not None:
+            return self.cost
+        cached = getattr(self, "_cost_cache")
+        if cached is not None:
+            return cached
+        if callable(self.cost_fn):
+            cost = np.asarray(
+                self.cost_fn(self.source_support, self.target_support),
+                dtype=float)
+            if cost.shape != self.shape:
+                raise ValidationError(
+                    f"cost_fn returned shape {cost.shape}, expected "
+                    f"{self.shape}")
+        else:
+            metric = self.cost_fn
+            if metric is None:
+                metric = "sqeuclidean" if self.p == 2 else "lp"
+            cost = _build_cost_matrix(self.source_support,
+                                      self.target_support,
+                                      metric=metric, p=self.p)
+        object.__setattr__(self, "_cost_cache", cost)
+        return cost
+
+    # -- construction helpers ---------------------------------------------
+
+    @classmethod
+    def from_cost(cls, cost, source_weights, target_weights, *,
+                  source_support=None, target_support=None,
+                  support_mask=None) -> "OTProblem":
+        """Build a problem from an explicit cost matrix (legacy signature)."""
+        return cls(source_weights=source_weights,
+                   target_weights=target_weights, cost=cost,
+                   source_support=source_support,
+                   target_support=target_support,
+                   support_mask=support_mask)
+
+
+@dataclass(frozen=True)
+class OTResult:
+    """Uniform outcome of a :func:`repro.ot.solve` call.
+
+    Attributes
+    ----------
+    plan:
+        The coupling wrapped in a :class:`~repro.ot.coupling.TransportPlan`.
+    value:
+        Transport cost ``<C, π>`` of the returned plan.
+    residual_source, residual_target:
+        Max-norm violations of the row/column marginal constraints.
+    converged:
+        True when the solver met its own optimality/tolerance criterion.
+    n_iter:
+        Iterations (pivots, sweeps, ...) the solver performed.
+    solver:
+        Registered name of the solver that produced the plan.
+    wall_time:
+        Wall-clock seconds spent inside the solver.
+    extras:
+        Solver-specific diagnostics (``epsilon``, screening sparsity, ...).
+    """
+
+    plan: TransportPlan
+    value: float
+    residual_source: float
+    residual_target: float
+    converged: bool
+    n_iter: int
+    solver: str = ""
+    wall_time: float = 0.0
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """The raw ``(n, m)`` coupling matrix."""
+        return self.plan.matrix
+
+    @property
+    def marginal_residual(self) -> float:
+        """Max of the two marginal residuals."""
+        return max(self.residual_source, self.residual_target)
+
+    def with_timing(self, solver: str, wall_time: float) -> "OTResult":
+        """Copy with the facade-assigned solver name and timing."""
+        return replace(self, solver=solver, wall_time=wall_time)
+
+    def summary(self) -> dict:
+        """JSON-safe diagnostic record (stored in repair-plan metadata)."""
+        record = {
+            "solver": self.solver,
+            "value": float(self.value),
+            "residual": float(self.marginal_residual),
+            "converged": bool(self.converged),
+            "n_iter": int(self.n_iter),
+            "wall_time": float(self.wall_time),
+        }
+        record.update({str(k): _json_scalar(v)
+                       for k, v in self.extras.items()})
+        return record
+
+
+def result_from_matrix(problem: OTProblem, matrix: np.ndarray, *,
+                       value=None, converged: bool | None = None,
+                       n_iter: int = 1,
+                       extras: dict | None = None) -> OTResult:
+    """Assemble an :class:`OTResult` from a raw plan matrix.
+
+    The single result-construction path shared by the built-in solvers
+    (via :func:`repro.ot.solve`) and the registry's coercion of ad-hoc
+    solver returns.  ``value`` defaults to ``<C, matrix>``;
+    ``converged=None`` derives the flag from the marginal residuals
+    (``<= 1e-6``).
+    """
+    matrix = np.asarray(matrix, dtype=float)
+    if matrix.shape != problem.shape:
+        raise ValidationError(
+            f"plan matrix has shape {matrix.shape}, problem expects "
+            f"{problem.shape}")
+    n, m = matrix.shape
+    source = (problem.source_support if problem.source_support is not None
+              else np.arange(n, dtype=float))
+    target = (problem.target_support if problem.target_support is not None
+              else np.arange(m, dtype=float))
+    if value is None or not np.isfinite(value):
+        value = float(np.sum(problem.cost_matrix() * matrix))
+    plan = TransportPlan(matrix, source, target, float(value))
+    row_err = float(np.abs(matrix.sum(axis=1)
+                           - problem.source_weights).max())
+    col_err = float(np.abs(matrix.sum(axis=0)
+                           - problem.target_weights).max())
+    if converged is None:
+        converged = max(row_err, col_err) <= 1e-6
+    return OTResult(plan=plan, value=float(value), residual_source=row_err,
+                    residual_target=col_err, converged=bool(converged),
+                    n_iter=int(n_iter), extras=dict(extras or {}))
+
+
+def _json_scalar(value):
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, (bool, int, float, str)) or value is None:
+        return value
+    return str(value)

@@ -165,16 +165,17 @@ def solve_sinkhorn(cost: np.ndarray, source_weights, target_weights,
                    source_support=None, target_support=None, *,
                    epsilon: float = 1e-2, max_iter: int = 10_000,
                    tol: float = 1e-9) -> TransportPlan:
-    """Sinkhorn solve wrapped into a :class:`TransportPlan`."""
-    result = sinkhorn(cost, source_weights, target_weights, epsilon=epsilon,
-                      max_iter=max_iter, tol=tol)
-    n, m = result.plan.shape
-    if source_support is None:
-        source_support = np.arange(n, dtype=float)
-    if target_support is None:
-        target_support = np.arange(m, dtype=float)
-    value = float(np.sum(np.asarray(cost, dtype=float) * result.plan))
-    return TransportPlan(result.plan, source_support, target_support, value)
+    """Sinkhorn solve wrapped into a :class:`TransportPlan`.
+
+    Thin shim over :func:`repro.ot.solve` with ``method="sinkhorn"``;
+    raises :class:`~repro.exceptions.ConvergenceError` on a blown budget,
+    matching the historical behaviour of this entry point.
+    """
+    from .solve import solve
+    return solve(cost, source_weights, target_weights, method="sinkhorn",
+                 source_support=source_support,
+                 target_support=target_support, epsilon=epsilon,
+                 max_iter=max_iter, tol=tol, raise_on_failure=True).plan
 
 
 def _check_cost(cost) -> np.ndarray:

@@ -1,0 +1,377 @@
+"""Unified entry point for every discrete OT solve in the library.
+
+``solve(problem, method=...)`` replaces the historical five unrelated
+entry points (``solve_1d``, ``solve_transport``, ``transport_simplex``,
+``solve_transport_lp``, ``solve_sinkhorn``): one problem object in, one
+result object out, solvers resolved through the pluggable registry.
+
+Built-in methods
+----------------
+
+``"exact"``
+    Closed-form monotone coupling — optimal for 1-D supports with any
+    convex ``|x - y|^p`` cost, ``O(n + m)``.
+``"simplex"``
+    Dense transportation simplex (MODI), exact, cubic-class.
+``"lp"``
+    scipy/HiGHS linear-programming oracle; honours a sparse
+    ``support_mask`` by solving the restricted LP.
+``"sinkhorn"`` / ``"sinkhorn_log"``
+    Entropic OT (probability-domain scaling / log-domain stabilised).
+``"screened"``
+    The sparse hybrid: a cheap entropic solve *screens* the product
+    support down to the top-``k`` entries per row and column, then an
+    exact LP restricted to that sparse support recovers an unregularised
+    plan — the POT network-simplex/Sinkhorn hybrid pattern, and this
+    library's fast path for large supports.
+``"auto"`` (default)
+    Dispatches on problem structure: monotone closed form when provably
+    optimal, simplex for small dense problems, LP for medium ones,
+    screened beyond :data:`LP_AUTO_LIMIT` states.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+from scipy import sparse
+
+from ..exceptions import ConvergenceError, ValidationError
+from .lp import _linprog_with_presolve_retry, _lp_matrix
+from .network_simplex import _transport_simplex_core
+from .onedim import north_west_corner
+from .problem import OTProblem, OTResult, result_from_matrix
+from .registry import filter_opts, register_solver, resolve_solver
+from .sinkhorn import sinkhorn as _sinkhorn_impl
+from .sinkhorn import sinkhorn_log as _sinkhorn_log_impl
+
+__all__ = ["solve", "auto_method", "as_problem",
+           "SIMPLEX_AUTO_LIMIT", "LP_AUTO_LIMIT"]
+
+#: Largest marginal size ``auto`` still hands to the dense simplex.
+SIMPLEX_AUTO_LIMIT = 64
+#: Largest marginal size ``auto`` still hands to the dense LP; beyond
+#: this the screened sparse hybrid takes over.
+LP_AUTO_LIMIT = 300
+
+
+def as_problem(problem_or_cost, source_weights=None, target_weights=None,
+               **problem_kwargs) -> OTProblem:
+    """Coerce the facade's positional arguments into an :class:`OTProblem`.
+
+    Accepts either a ready-made problem (marginals must then *not* be
+    repeated alongside it) or the legacy triplet
+    ``(cost, source_weights, target_weights)``.
+    """
+    if isinstance(problem_or_cost, OTProblem):
+        if source_weights is not None or target_weights is not None:
+            raise ValidationError(
+                "marginals are part of the OTProblem; do not pass them "
+                "again alongside it")
+        if problem_kwargs:
+            raise ValidationError(
+                "problem construction keywords "
+                f"{sorted(problem_kwargs)} are only valid with the "
+                "(cost, source_weights, target_weights) calling form")
+        return problem_or_cost
+    if source_weights is None or target_weights is None:
+        raise ValidationError(
+            "solve() needs an OTProblem, or a cost matrix plus both "
+            "marginals")
+    return OTProblem.from_cost(problem_or_cost, source_weights,
+                               target_weights, **problem_kwargs)
+
+
+def auto_method(problem: OTProblem) -> str:
+    """The solver name ``method="auto"`` dispatches ``problem`` to."""
+    if problem.is_monotone_solvable:
+        return "exact"
+    size = max(problem.shape)
+    if problem.support_mask is not None:
+        # Only the LP and screened solvers honour a support mask.
+        return "lp" if size <= LP_AUTO_LIMIT else "screened"
+    if size <= SIMPLEX_AUTO_LIMIT:
+        return "simplex"
+    if size <= LP_AUTO_LIMIT:
+        return "lp"
+    return "screened"
+
+
+def solve(problem_or_cost, source_weights=None, target_weights=None, *,
+          method="auto", source_support=None, target_support=None,
+          support_mask=None, **opts) -> OTResult:
+    """Solve a discrete optimal-transport problem.
+
+    Parameters
+    ----------
+    problem_or_cost:
+        An :class:`OTProblem`, or an ``(n, m)`` cost matrix accompanied by
+        the two marginals (the legacy calling convention).
+    method:
+        A registered solver name (see
+        :func:`~repro.ot.registry.available_solvers`), a callable
+        ``fn(problem, **opts)``, a :class:`~repro.ot.registry.Solver`
+        instance, or ``"auto"`` (structure-based dispatch).
+    **opts:
+        Forwarded verbatim to the resolved solver (e.g. ``epsilon`` for
+        the entropic methods, ``k`` for ``"screened"``).
+
+    Returns
+    -------
+    OTResult
+        Plan, cost value, marginal residuals, convergence flag, iteration
+        count, solver name and wall time.
+    """
+    problem_kwargs = {}
+    if not isinstance(problem_or_cost, OTProblem):
+        problem_kwargs = {"source_support": source_support,
+                          "target_support": target_support,
+                          "support_mask": support_mask}
+    elif (source_support is not None or target_support is not None
+          or support_mask is not None):
+        raise ValidationError(
+            "supports/support_mask are part of the OTProblem; do not pass "
+            "them again alongside it")
+    problem = as_problem(problem_or_cost, source_weights, target_weights,
+                         **problem_kwargs)
+    if isinstance(method, str) and method == "auto":
+        # Dispatch here (rather than through the registered "auto"
+        # solver) so the result reports the solver that actually ran,
+        # with the same opts filtering: entropic knobs passed alongside
+        # method="auto" reach entropic dispatch targets and are dropped
+        # for exact ones.
+        solver = resolve_solver(auto_method(problem))
+        opts = filter_opts(solver, opts)
+    else:
+        solver = resolve_solver(method)
+    start = time.perf_counter()
+    result = solver(problem, **opts)
+    return result.with_timing(solver.name, time.perf_counter() - start)
+
+
+# -- shared result assembly --------------------------------------------------
+
+
+def _finish(problem: OTProblem, matrix: np.ndarray, *, value=None,
+            converged: bool = True, n_iter: int = 1,
+            extras: dict | None = None) -> OTResult:
+    """Wrap a raw plan matrix into an :class:`OTResult` for ``problem``."""
+    return result_from_matrix(problem, matrix, value=value,
+                              converged=converged, n_iter=n_iter,
+                              extras=extras)
+
+
+# -- built-in solvers --------------------------------------------------------
+
+
+@register_solver(
+    "exact", aliases=("monotone", "1d"),
+    description="closed-form monotone coupling; optimal for 1-D supports "
+                "with convex |x-y|^p costs, O(n+m)")
+def _solve_exact(problem: OTProblem) -> OTResult:
+    """North-west-corner traversal of the sorted supports."""
+    if not problem.is_one_dimensional:
+        raise ValidationError(
+            "the 'exact' monotone solver needs 1-D source and target "
+            "supports; use 'simplex', 'lp' or 'screened' for general "
+            "problems")
+    if problem.support_mask is not None:
+        raise ValidationError(
+            "the 'exact' monotone solver cannot honour a support_mask; "
+            "use 'lp' or 'screened'")
+    xs = problem.source_support.ravel()
+    ys = problem.target_support.ravel()
+    order_x = np.argsort(xs, kind="stable")
+    order_y = np.argsort(ys, kind="stable")
+    sorted_plan = north_west_corner(problem.source_weights[order_x],
+                                    problem.target_weights[order_y])
+    matrix = np.zeros_like(sorted_plan)
+    matrix[np.ix_(order_x, order_y)] = sorted_plan
+    return _finish(problem, matrix)
+
+
+@register_solver(
+    "simplex",
+    description="exact dense transportation simplex (MODI / u-v method), "
+                "cubic-class in the support size")
+def _solve_simplex(problem: OTProblem, *, max_iter: int | None = None,
+                   tol: float = 1e-10) -> OTResult:
+    if problem.support_mask is not None:
+        raise ValidationError(
+            "the dense simplex cannot honour a support_mask; use 'lp' or "
+            "'screened'")
+    matrix, pivots = _transport_simplex_core(
+        problem.cost_matrix(), problem.source_weights,
+        problem.target_weights, max_iter=max_iter, tol=tol)
+    return _finish(problem, matrix, n_iter=pivots)
+
+
+@register_solver(
+    "lp", aliases=("linprog", "highs"),
+    description="scipy HiGHS linear-programming oracle; honours a sparse "
+                "support_mask via the restricted LP")
+def _solve_lp(problem: OTProblem) -> OTResult:
+    cost = problem.cost_matrix()
+    mu = problem.source_weights
+    nu = problem.target_weights
+    if problem.support_mask is None:
+        matrix, nit = _lp_matrix(cost, mu, nu)
+        extras = {}
+    else:
+        # The mask is a hard restriction; widen it with a feasibility
+        # patch (the NW-corner coupling, O(n+m) to build) only when the
+        # restricted problem admits no coupling — and say so.
+        mask = problem.support_mask
+        widened = False
+        try:
+            # No presolve retry here: this mask's feasibility is unknown,
+            # so an infeasible verdict is probably real and the widened
+            # attempt below is the useful follow-up.
+            matrix, nit = _restricted_lp_matrix(cost, mu, nu, mask,
+                                                presolve_retry=False)
+        except ConvergenceError:
+            mask = mask | (north_west_corner(mu, nu) > 0.0)
+            matrix, nit = _restricted_lp_matrix(cost, mu, nu, mask)
+            widened = True
+        extras = {"support_size": int(mask.sum()),
+                  "support_density": float(mask.mean()),
+                  "mask_widened": widened}
+    return _finish(problem, matrix, n_iter=nit, extras=extras)
+
+
+@register_solver(
+    "sinkhorn",
+    description="entropic OT via probability-domain Sinkhorn-Knopp "
+                "scaling (auto-falls back to the log domain)")
+def _solve_sinkhorn(problem: OTProblem, *, epsilon: float = 1e-2,
+                    max_iter: int = 10_000, tol: float = 1e-9,
+                    raise_on_failure: bool = False) -> OTResult:
+    outcome = _sinkhorn_impl(problem.cost_matrix(), problem.source_weights,
+                             problem.target_weights, epsilon=epsilon,
+                             max_iter=max_iter, tol=tol,
+                             raise_on_failure=raise_on_failure)
+    return _finish(problem, outcome.plan, converged=outcome.converged,
+                   n_iter=outcome.iterations,
+                   extras={"epsilon": epsilon, "tol": tol})
+
+
+@register_solver(
+    "sinkhorn_log",
+    description="entropic OT, log-domain stabilised (survives very small "
+                "epsilon)")
+def _solve_sinkhorn_log(problem: OTProblem, *, epsilon: float = 1e-2,
+                        max_iter: int = 10_000, tol: float = 1e-9,
+                        raise_on_failure: bool = False) -> OTResult:
+    outcome = _sinkhorn_log_impl(problem.cost_matrix(),
+                                 problem.source_weights,
+                                 problem.target_weights, epsilon=epsilon,
+                                 max_iter=max_iter, tol=tol,
+                                 raise_on_failure=raise_on_failure)
+    return _finish(problem, outcome.plan, converged=outcome.converged,
+                   n_iter=outcome.iterations,
+                   extras={"epsilon": epsilon, "tol": tol})
+
+
+@register_solver(
+    "screened",
+    description="Sinkhorn-screened sparse hybrid: entropic solve prunes "
+                "the support to top-k per row/column, then an exact "
+                "restricted LP — the fast path for large supports")
+def _solve_screened(problem: OTProblem, *, epsilon: float = 1e-2,
+                    k: int | None = None, screen_max_iter: int = 2_000,
+                    screen_tol: float = 1e-6) -> OTResult:
+    """The POT-style hybrid: approximate globally, solve exactly locally.
+
+    The entropic plan concentrates its mass near the unregularised
+    optimum, so keeping only its ``k`` largest entries per row and per
+    column yields a sparse support that almost surely contains the exact
+    optimal basis; the LP restricted to that support has ``O(k·n)``
+    variables instead of ``n·m``.  A north-west-corner coupling is
+    unioned into the support so the restricted LP is always feasible,
+    and a caller-supplied ``support_mask`` is unioned in as additional
+    support to include (see :class:`~repro.ot.problem.OTProblem`).
+    """
+    mu = problem.source_weights
+    nu = problem.target_weights
+    cost = problem.cost_matrix()
+    n, m = cost.shape
+    screened = _sinkhorn_impl(cost, mu, nu, epsilon=epsilon,
+                              max_iter=screen_max_iter, tol=screen_tol,
+                              raise_on_failure=False)
+    if k is None:
+        k = max(5, int(np.ceil(np.log2(max(n, m)))) + 8)
+    k_row = min(k, m)
+    k_col = min(k, n)
+    mask = np.zeros((n, m), dtype=bool)
+    top_rows = np.argpartition(screened.plan, m - k_row,
+                               axis=1)[:, m - k_row:]
+    mask[np.arange(n)[:, None], top_rows] = True
+    top_cols = np.argpartition(screened.plan, n - k_col,
+                               axis=0)[n - k_col:, :]
+    mask[top_cols, np.arange(m)[None, :]] = True
+    if problem.support_mask is not None:
+        mask |= problem.support_mask
+    mask |= north_west_corner(mu, nu) > 0.0
+    matrix, nit = _restricted_lp_matrix(cost, mu, nu, mask)
+    extras = {"epsilon": epsilon, "k": int(k),
+              "support_size": int(mask.sum()),
+              "support_density": float(mask.mean()),
+              "screen_iterations": screened.iterations,
+              "screen_converged": screened.converged,
+              "screen_residual": float(screened.residual)}
+    # The restricted LP is exact on its support, but the support quality
+    # depends on the screen: an unconverged screen may have missed the
+    # optimal basis, so the overall result must not claim convergence —
+    # unless the mask ended up covering the full support, where the
+    # restricted LP *is* the dense LP and the optimum is certain.
+    return _finish(problem, matrix,
+                   converged=screened.converged or bool(mask.all()),
+                   n_iter=nit, extras=extras)
+
+
+@register_solver(
+    "auto",
+    description="structure-based dispatch: monotone closed form for 1-D "
+                "convex costs, simplex for small dense problems, LP for "
+                "medium, screened hybrid for large supports")
+def _solve_auto(problem: OTProblem, **opts) -> OTResult:
+    """Resolvable name for the default dispatch (so registry consumers
+    like ``design_repair(solver="auto")`` work uniformly).
+
+    Options are forwarded to the dispatched solver filtered by its
+    signature (:func:`~repro.ot.registry.filter_opts`), so callers may
+    pass e.g. ``epsilon`` without knowing whether dispatch will land on
+    an entropic method (which uses it) or an exact one (which has no
+    such knob).
+    """
+    from dataclasses import replace
+    target = resolve_solver(auto_method(problem))
+    inner = solve(problem, method=target, **filter_opts(target, opts))
+    return replace(inner,
+                   extras={**inner.extras, "dispatched_to": inner.solver})
+
+
+def _restricted_lp_matrix(cost: np.ndarray, mu: np.ndarray, nu: np.ndarray,
+                          mask: np.ndarray, *,
+                          presolve_retry: bool = True
+                          ) -> tuple[np.ndarray, int]:
+    """Exact LP over only the ``mask``-allowed coupling entries."""
+    rows, cols = np.nonzero(mask)
+    nnz = rows.size
+    data = np.ones(nnz)
+    variable_ids = np.arange(nnz)
+    n, m = cost.shape
+    a_rows = sparse.coo_matrix((data, (rows, variable_ids)),
+                               shape=(n, nnz)).tocsr()
+    # Final column constraint dropped: redundant in the balanced problem.
+    a_cols = sparse.coo_matrix((data, (cols, variable_ids)),
+                               shape=(m, nnz)).tocsr()[:-1]
+    a_eq = sparse.vstack([a_rows, a_cols], format="csr")
+    b_eq = np.concatenate([mu, nu[:-1]])
+    result = _linprog_with_presolve_retry(
+        cost[rows, cols], a_eq, b_eq, what="the restricted transport LP",
+        presolve_retry=presolve_retry)
+    matrix = np.zeros((n, m))
+    matrix[rows, cols] = np.clip(result.x, 0.0, None)
+    return matrix, int(getattr(result, "nit", 0) or 0)

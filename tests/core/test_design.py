@@ -147,3 +147,42 @@ class TestDesignRepair:
         data = FairnessDataset(x, s, u)
         with pytest.raises(ValidationError, match="lacks research data"):
             design_repair(data, 10)
+
+
+class TestRegistryThreading:
+    """Algorithm 1 resolves its solver through the unified OT registry."""
+
+    def test_registered_name_usable(self, samples_by_s):
+        plan = design_feature_plan(samples_by_s, 15, solver="lp")
+        for s in (0, 1):
+            assert plan.diagnostics[s]["solver"] == "lp"
+
+    def test_solver_instance_usable(self, samples_by_s):
+        from repro.ot import resolve_solver
+        plan = design_feature_plan(samples_by_s, 15,
+                                   solver=resolve_solver("simplex"))
+        assert plan.diagnostics[0]["solver"] == "simplex"
+
+    def test_screened_matches_exact_plan_cost(self, samples_by_s):
+        exact = design_feature_plan(samples_by_s, 15, solver="exact")
+        screened = design_feature_plan(samples_by_s, 15, solver="screened")
+        for s in (0, 1):
+            assert screened.transports[s].cost == pytest.approx(
+                exact.transports[s].cost, rel=1e-6, abs=1e-12)
+
+    def test_diagnostics_recorded(self, samples_by_s):
+        plan = design_feature_plan(samples_by_s, 15, solver="exact")
+        for s in (0, 1):
+            record = plan.diagnostics[s]
+            assert record["converged"] is True
+            assert record["residual"] <= 1e-8
+            assert record["wall_time"] >= 0.0
+
+    def test_design_repair_aggregates_diagnostics(self, paper_split):
+        plan = design_repair(paper_split.research, 20, solver="exact")
+        assert plan.metadata["ot_wall_time"] >= 0.0
+        assert plan.metadata["n_unconverged"] == 0
+        diagnostics = plan.solver_diagnostics()
+        assert set(diagnostics) == set(plan.feature_plans)
+        for cell_records in diagnostics.values():
+            assert set(cell_records) == {0, 1}

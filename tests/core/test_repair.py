@@ -211,3 +211,63 @@ class TestDistributionalRepairer:
         repairer.fit(paper_split.research)
         assert repairer.plan.metadata["marginal_estimator"] == "linear"
         assert repairer.plan.feature_plan(0, 0).grid.n_states == 12
+
+
+class TestConditionalCdfCaching:
+    """Regression: Algorithm 2's last-column clamp must never write into
+    the FeaturePlan's cached conditional-CDF array."""
+
+    def test_repair_does_not_mutate_cached_cdfs(self, fitted_feature_plan,
+                                                rng):
+        snapshot = fitted_feature_plan.conditional_cdfs(0).copy()
+        values = rng.normal(-1.0, 1.0, size=200)
+        repair_feature_values(values, fitted_feature_plan, 0, rng=rng)
+        repair_feature_values(values, fitted_feature_plan, 0, rng=rng)
+        np.testing.assert_array_equal(
+            fitted_feature_plan.conditional_cdfs(0), snapshot)
+
+    def test_cdfs_cached_per_s(self, fitted_feature_plan):
+        first = fitted_feature_plan.conditional_cdfs(1)
+        assert fitted_feature_plan.conditional_cdfs(1) is first
+
+    def test_repeated_repairs_are_distribution_identical(
+            self, fitted_feature_plan):
+        # Mutated cached CDFs would skew later draws; identical seeds must
+        # keep producing identical repairs run after run.
+        values = np.linspace(-2.0, 2.0, 100)
+        first = repair_feature_values(
+            values, fitted_feature_plan, 0,
+            rng=np.random.default_rng(7))
+        for _ in range(3):
+            again = repair_feature_values(
+                values, fitted_feature_plan, 0,
+                rng=np.random.default_rng(7))
+            np.testing.assert_array_equal(first, again)
+
+
+class TestSolverSpecs:
+    def test_screened_solver_end_to_end(self, paper_split, rng):
+        repairer = DistributionalRepairer(n_states=24, solver="screened",
+                                          rng=rng)
+        repaired = repairer.fit_transform(paper_split.research)
+        before = conditional_dependence_energy(
+            paper_split.research.features, paper_split.research.s,
+            paper_split.research.u)
+        after = conditional_dependence_energy(
+            repaired.features, repaired.s, repaired.u)
+        assert after.total < before.total
+
+    def test_callable_solver_accepted(self, paper_split, rng):
+        from repro.ot import solve
+
+        def my_solver(problem):
+            return solve(problem, method="exact")
+
+        repairer = DistributionalRepairer(n_states=16, solver=my_solver,
+                                          rng=rng)
+        repairer.fit(paper_split.research)
+        assert repairer.plan.metadata["solver"] == "my_solver"
+
+    def test_unknown_solver_fails_at_construction(self):
+        with pytest.raises(ValidationError, match="unknown solver"):
+            DistributionalRepairer(solver="quantum")

@@ -96,3 +96,20 @@ class TestErrors:
         written.write_bytes(data[: len(data) // 3])
         with pytest.raises((DataError, Exception)):
             load_plan(written)
+
+
+class TestDiagnosticsPersistence:
+    def test_ot_diagnostics_survive_round_trip(self, fitted_plan,
+                                               tmp_path):
+        written = save_plan(fitted_plan, tmp_path / "plan.npz")
+        loaded = load_plan(written)
+        for key, original in fitted_plan.feature_plans.items():
+            restored = loaded.feature_plans[key]
+            assert set(restored.diagnostics) == {0, 1}
+            for s in (0, 1):
+                record = restored.diagnostics[s]
+                assert record["solver"] == original.diagnostics[s]["solver"]
+                assert record["converged"] == \
+                    original.diagnostics[s]["converged"]
+                assert record["value"] == pytest.approx(
+                    original.diagnostics[s]["value"])

@@ -1,0 +1,439 @@
+"""Tests for the unified ``repro.ot.solve`` API.
+
+Covers the four contract areas of the redesign: the solver registry
+round-trip, cross-solver agreement against the LP oracle, the
+``OTResult`` invariants, and the legacy entry points' shim equivalence.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.ot import (OTProblem, OTResult, Solver, TransportPlan,
+                      auto_method, available_solvers, register_solver,
+                      resolve_solver, sinkhorn, solve, solve_1d,
+                      solve_sinkhorn, solve_transport, solve_transport_lp,
+                      solver_descriptions, squared_euclidean_cost,
+                      transport_lp, transport_simplex, unregister_solver)
+
+#: Cost-value agreement tolerance against the LP oracle, per solver.
+#: Exact methods must match tightly; entropic methods are biased by
+#: design (regularisation blurs the plan) so only closeness is required.
+VALUE_RTOL = {
+    "exact": 1e-9,
+    "simplex": 1e-9,
+    "lp": 1e-9,
+    "screened": 1e-9,
+    "auto": 1e-9,
+    "sinkhorn": 0.5,
+    "sinkhorn_log": 0.5,
+}
+
+#: Marginal-residual ceiling per solver: exact plans must satisfy the
+#: coupling constraints to solver precision; entropic plans to their
+#: reported tolerance.
+RESIDUAL_ATOL = {
+    "exact": 1e-8,
+    "simplex": 1e-8,
+    "lp": 1e-8,
+    "screened": 1e-8,
+    "auto": 1e-8,
+    "sinkhorn": 1e-6,
+    "sinkhorn_log": 1e-6,
+}
+
+
+@pytest.fixture
+def shared_problem(rng):
+    """A small dense 1-D problem every registered solver can handle."""
+    n, m = 14, 11
+    xs = np.sort(rng.normal(size=n))
+    ys = np.sort(rng.normal(size=m))
+    mu = rng.dirichlet(np.ones(n))
+    nu = rng.dirichlet(np.ones(m))
+    return OTProblem(source_weights=mu, target_weights=nu,
+                     source_support=xs, target_support=ys)
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        names = available_solvers()
+        for expected in ("exact", "simplex", "lp", "sinkhorn",
+                         "sinkhorn_log", "screened", "auto"):
+            assert expected in names
+
+    def test_every_solver_has_a_description(self):
+        for name, description in solver_descriptions().items():
+            assert description, f"solver {name} lacks a description"
+
+    def test_register_resolve_solve_round_trip(self, shared_problem):
+        @register_solver("test-uniform", description="independent coupling")
+        def uniform_solver(problem):
+            mu, nu = problem.source_weights, problem.target_weights
+            return np.outer(mu, nu)
+
+        try:
+            assert "test-uniform" in available_solvers()
+            solver = resolve_solver("test-uniform")
+            assert solver.name == "test-uniform"
+            result = solve(shared_problem, method="test-uniform")
+            assert isinstance(result, OTResult)
+            assert result.solver == "test-uniform"
+            # The independent coupling is feasible, hence tiny residuals.
+            assert result.marginal_residual <= 1e-12
+        finally:
+            unregister_solver("test-uniform")
+        assert "test-uniform" not in available_solvers()
+        with pytest.raises(ValidationError, match="unknown solver"):
+            resolve_solver("test-uniform")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValidationError, match="already registered"):
+            register_solver("exact")(lambda problem: None)
+
+    def test_overwrite_evicts_stale_aliases(self, shared_problem):
+        register_solver("test-shadowed", aliases=("test-alias",),
+                        description="first")(
+            lambda problem: np.outer(problem.source_weights,
+                                     problem.target_weights))
+        try:
+            register_solver("test-shadowed", overwrite=True,
+                            description="second")(
+                lambda problem: np.outer(problem.source_weights,
+                                         problem.target_weights))
+            # The old alias must not keep resolving to the shadowed entry.
+            with pytest.raises(ValidationError, match="unknown solver"):
+                resolve_solver("test-alias")
+            assert resolve_solver("test-shadowed").description == "second"
+        finally:
+            unregister_solver("test-shadowed")
+
+    def test_resolution_accepts_callable(self, shared_problem):
+        def my_solver(problem):
+            return np.outer(problem.source_weights, problem.target_weights)
+
+        result = solve(shared_problem, method=my_solver)
+        assert result.solver == "my_solver"
+        assert result.marginal_residual <= 1e-12
+
+    def test_resolution_accepts_solver_instance(self, shared_problem):
+        solver = Solver(
+            name="inline",
+            fn=lambda problem: np.outer(problem.source_weights,
+                                        problem.target_weights),
+            description="inline test solver")
+        result = solve(shared_problem, method=solver)
+        assert result.solver == "inline"
+
+    def test_unknown_name_lists_available(self):
+        with pytest.raises(ValidationError, match="expected one of"):
+            resolve_solver("quantum")
+
+    def test_unresolvable_spec_rejected(self):
+        with pytest.raises(ValidationError, match="cannot resolve"):
+            resolve_solver(42)
+
+    def test_aliases_resolve_to_primary(self):
+        assert resolve_solver("monotone").name == "exact"
+        assert resolve_solver("highs").name == "lp"
+
+
+class TestCrossSolverAgreement:
+    def test_all_registered_solvers_near_lp_oracle(self, shared_problem):
+        cost = squared_euclidean_cost(shared_problem.source_support,
+                                      shared_problem.target_support)
+        oracle = float(np.sum(cost * transport_lp(
+            cost, shared_problem.source_weights,
+            shared_problem.target_weights)))
+        for name in available_solvers():
+            if name not in VALUE_RTOL:  # solver registered by other tests
+                continue
+            result = solve(shared_problem, method=name)
+            assert result.value == pytest.approx(
+                oracle, rel=VALUE_RTOL[name], abs=1e-9), name
+            assert result.marginal_residual <= RESIDUAL_ATOL[name], name
+
+    def test_screened_matches_oracle_on_larger_problem(self, rng):
+        n = 120
+        nodes = np.linspace(-3.0, 3.0, n)
+        mu = np.exp(-0.5 * (nodes + 1.0) ** 2)
+        nu = np.exp(-0.5 * (nodes - 1.0) ** 2)
+        mu /= mu.sum()
+        nu /= nu.sum()
+        cost = squared_euclidean_cost(nodes.reshape(-1, 1),
+                                      nodes.reshape(-1, 1))
+        oracle = float(np.sum(cost * transport_lp(cost, mu, nu)))
+        result = solve(cost, mu, nu, method="screened")
+        assert result.value == pytest.approx(oracle, rel=1e-6)
+        assert result.marginal_residual <= 1e-8
+        assert result.extras["support_density"] < 0.5
+
+    def test_lp_mask_is_hard_restriction_when_feasible(self,
+                                                       shared_problem):
+        # A feasible mask (monotone support + a band) must confine the
+        # plan: no mass outside it, and no silent widening.
+        n, m = shared_problem.shape
+        mask = np.zeros((n, m), dtype=bool)
+        from repro.ot import north_west_corner
+        mask |= north_west_corner(shared_problem.source_weights,
+                                  shared_problem.target_weights) > 0.0
+        problem = OTProblem(
+            source_weights=shared_problem.source_weights,
+            target_weights=shared_problem.target_weights,
+            source_support=shared_problem.source_support,
+            target_support=shared_problem.target_support,
+            support_mask=mask)
+        result = solve(problem, method="lp")
+        assert result.extras["mask_widened"] is False
+        assert np.all(result.matrix[~mask] == 0.0)
+        assert result.marginal_residual <= 1e-8
+
+    def test_lp_infeasible_mask_widened_and_reported(self,
+                                                     shared_problem):
+        mask = np.zeros(shared_problem.shape, dtype=bool)
+        mask[0, 0] = True  # cannot couple the full marginals
+        problem = OTProblem(
+            source_weights=shared_problem.source_weights,
+            target_weights=shared_problem.target_weights,
+            source_support=shared_problem.source_support,
+            target_support=shared_problem.target_support,
+            support_mask=mask)
+        result = solve(problem, method="lp")
+        assert result.extras["mask_widened"] is True
+        assert result.marginal_residual <= 1e-8
+
+    def test_screened_honours_support_mask_union(self, shared_problem):
+        mask = np.zeros(shared_problem.shape, dtype=bool)
+        mask[0, :] = True
+        problem = OTProblem(
+            source_weights=shared_problem.source_weights,
+            target_weights=shared_problem.target_weights,
+            source_support=shared_problem.source_support,
+            target_support=shared_problem.target_support,
+            support_mask=mask)
+        result = solve(problem, method="screened")
+        assert result.converged
+        assert result.marginal_residual <= 1e-8
+
+
+class TestOTResultInvariants:
+    @pytest.mark.parametrize("method", ["exact", "simplex", "lp",
+                                        "sinkhorn", "screened"])
+    def test_residuals_match_recomputation(self, shared_problem, method):
+        result = solve(shared_problem, method=method)
+        matrix = result.matrix
+        row = float(np.abs(matrix.sum(axis=1)
+                           - shared_problem.source_weights).max())
+        col = float(np.abs(matrix.sum(axis=0)
+                           - shared_problem.target_weights).max())
+        assert result.residual_source == pytest.approx(row, abs=1e-15)
+        assert result.residual_target == pytest.approx(col, abs=1e-15)
+        assert result.marginal_residual == max(result.residual_source,
+                                               result.residual_target)
+
+    @pytest.mark.parametrize("method", ["exact", "simplex", "lp",
+                                        "sinkhorn", "screened"])
+    def test_diagnostics_populated(self, shared_problem, method):
+        result = solve(shared_problem, method=method)
+        assert result.solver == method
+        assert result.converged
+        assert result.n_iter >= 0
+        assert result.wall_time >= 0.0
+        assert np.isfinite(result.value)
+        assert isinstance(result.plan, TransportPlan)
+        summary = result.summary()
+        assert summary["solver"] == method
+        assert summary["converged"] is True
+
+    def test_unconverged_sinkhorn_reports_honestly(self, shared_problem):
+        result = solve(shared_problem, method="sinkhorn", epsilon=1e-4,
+                       max_iter=3, tol=1e-14)
+        assert not result.converged
+        assert result.n_iter == 3
+        assert result.marginal_residual > 1e-14
+
+    def test_auto_dispatch_records_target(self, shared_problem):
+        result = solve(shared_problem, method=resolve_solver("auto"))
+        assert result.solver == "auto"
+        assert result.extras["dispatched_to"] == "exact"
+
+
+class TestAutoDispatch:
+    def test_one_dimensional_goes_monotone(self, shared_problem):
+        assert auto_method(shared_problem) == "exact"
+        assert solve(shared_problem).solver == "exact"
+
+    def test_explicit_cost_disables_monotone(self, shared_problem, rng):
+        problem = OTProblem(
+            source_weights=shared_problem.source_weights,
+            target_weights=shared_problem.target_weights,
+            cost=rng.random(shared_problem.shape))
+        assert auto_method(problem) == "simplex"
+
+    def test_medium_problems_go_lp(self, rng):
+        n = 128
+        problem = OTProblem(source_weights=np.full(n, 1.0 / n),
+                            target_weights=np.full(n, 1.0 / n),
+                            cost=rng.random((n, n)))
+        assert auto_method(problem) == "lp"
+
+    def test_large_problems_go_screened(self):
+        n = 512
+        problem = OTProblem(source_weights=np.full(n, 1.0 / n),
+                            target_weights=np.full(n, 1.0 / n),
+                            cost=np.zeros((n, n)))
+        assert auto_method(problem) == "screened"
+
+    def test_masked_problems_avoid_mask_blind_solvers(self, rng):
+        # Small + masked must not dispatch to the simplex (which rejects
+        # masks); it must route to a mask-honouring solver and solve.
+        n = 6
+        problem = OTProblem(source_weights=np.full(n, 1.0 / n),
+                            target_weights=np.full(n, 1.0 / n),
+                            cost=rng.random((n, n)),
+                            support_mask=np.eye(n, dtype=bool))
+        assert auto_method(problem) == "lp"
+        result = solve(problem)
+        assert result.solver == "lp"
+        assert result.marginal_residual <= 1e-8
+
+    def test_auto_string_filters_opts_like_registered_auto(
+            self, shared_problem):
+        # epsilon alongside the default method="auto" must be dropped
+        # when dispatch lands on the exact solver, not crash.
+        result = solve(shared_problem, epsilon=1e-3)
+        assert result.solver == "exact"
+
+
+class TestProblemValidation:
+    def test_needs_cost_or_supports(self):
+        with pytest.raises(ValidationError, match="cost matrix or both"):
+            OTProblem(source_weights=[0.5, 0.5], target_weights=[1.0])
+
+    def test_marginals_not_repeated_alongside_problem(self, shared_problem):
+        with pytest.raises(ValidationError, match="do not pass them"):
+            solve(shared_problem, shared_problem.source_weights,
+                  shared_problem.target_weights)
+
+    def test_cost_shape_checked(self):
+        with pytest.raises(ValidationError, match="incompatible"):
+            OTProblem(source_weights=[0.5, 0.5],
+                      target_weights=[0.5, 0.5], cost=np.zeros((3, 2)))
+
+    def test_mask_shape_checked(self):
+        with pytest.raises(ValidationError, match="support_mask"):
+            OTProblem(source_weights=[0.5, 0.5],
+                      target_weights=[0.5, 0.5], cost=np.zeros((2, 2)),
+                      support_mask=np.ones((3, 3), dtype=bool))
+
+    def test_exact_rejects_non_1d(self, rng):
+        problem = OTProblem(source_weights=[0.5, 0.5],
+                            target_weights=[0.5, 0.5],
+                            cost=rng.random((2, 2)))
+        with pytest.raises(ValidationError, match="1-D"):
+            solve(problem, method="exact")
+
+    def test_lazy_cost_caches(self, shared_problem):
+        first = shared_problem.cost_matrix()
+        assert shared_problem.cost_matrix() is first
+        expected = squared_euclidean_cost(shared_problem.source_support,
+                                          shared_problem.target_support)
+        np.testing.assert_allclose(first, expected)
+
+
+class TestLegacyShimEquivalence:
+    """The five historical entry points must agree with solve()."""
+
+    @pytest.fixture
+    def dense_problem(self, rng):
+        n, m = 9, 12
+        cost = rng.random((n, m))
+        mu = rng.dirichlet(np.ones(n))
+        nu = rng.dirichlet(np.ones(m))
+        return cost, mu, nu
+
+    def test_solve_1d(self, rng):
+        xs = rng.normal(size=10)
+        ys = rng.normal(size=13)
+        mu = rng.dirichlet(np.ones(10))
+        nu = rng.dirichlet(np.ones(13))
+        legacy = solve_1d(xs, mu, ys, nu, p=2)
+        unified = solve(OTProblem(source_weights=mu, target_weights=nu,
+                                  source_support=xs, target_support=ys),
+                        method="exact")
+        np.testing.assert_allclose(legacy.matrix, unified.matrix)
+        assert legacy.cost == pytest.approx(unified.value)
+
+    def test_transport_simplex(self, dense_problem):
+        cost, mu, nu = dense_problem
+        legacy = transport_simplex(cost, mu, nu)
+        unified = solve(cost, mu, nu, method="simplex")
+        np.testing.assert_allclose(legacy, unified.matrix)
+
+    def test_solve_transport(self, dense_problem):
+        cost, mu, nu = dense_problem
+        legacy = solve_transport(cost, mu, nu)
+        unified = solve(cost, mu, nu, method="simplex")
+        np.testing.assert_allclose(legacy.matrix, unified.matrix)
+        assert legacy.cost == pytest.approx(unified.value)
+
+    def test_solve_transport_lp(self, dense_problem):
+        cost, mu, nu = dense_problem
+        legacy = solve_transport_lp(cost, mu, nu)
+        unified = solve(cost, mu, nu, method="lp")
+        np.testing.assert_allclose(legacy.matrix, unified.matrix)
+        assert legacy.cost == pytest.approx(unified.value)
+
+    def test_solve_sinkhorn(self, dense_problem):
+        cost, mu, nu = dense_problem
+        legacy = solve_sinkhorn(cost, mu, nu, epsilon=0.1)
+        unified = solve(cost, mu, nu, method="sinkhorn", epsilon=0.1)
+        np.testing.assert_allclose(legacy.matrix, unified.matrix,
+                                   atol=1e-12)
+        assert legacy.cost == pytest.approx(unified.value)
+
+    def test_sinkhorn_impl_matches_facade(self, dense_problem):
+        cost, mu, nu = dense_problem
+        impl = sinkhorn(cost, mu, nu, epsilon=0.1)
+        facade = solve(cost, mu, nu, method="sinkhorn", epsilon=0.1)
+        np.testing.assert_allclose(impl.plan, facade.matrix, atol=1e-12)
+        assert facade.n_iter == impl.iterations
+
+
+class TestReviewRegressions:
+    def test_overwriting_an_alias_keeps_the_shadowed_builtin(self):
+        register_solver("test-mymono", aliases=("monotone",),
+                        overwrite=True, description="alias thief")(
+            lambda problem: np.outer(problem.source_weights,
+                                     problem.target_weights))
+        try:
+            # The builtin must survive under its primary name...
+            assert resolve_solver("exact").name == "exact"
+            # ...and default 1-D solves must still work process-wide.
+            xs = np.array([0.0, 1.0])
+            result = solve(OTProblem(source_weights=[0.5, 0.5],
+                                     target_weights=[0.5, 0.5],
+                                     source_support=xs, target_support=xs))
+            assert result.solver == "exact"
+            assert resolve_solver("monotone").name == "test-mymono"
+        finally:
+            unregister_solver("test-mymono")
+            # Restore the builtin's alias for later tests.
+            _exact = resolve_solver("exact")
+            from repro.ot.registry import _REGISTRY
+            _REGISTRY["monotone"] = _exact
+
+    def test_screened_full_support_is_converged(self):
+        # k >= n makes the mask all-True: the restricted LP is the dense
+        # LP, so the result is provably optimal even if the tiny screen
+        # budget ran out.
+        result = solve(OTProblem(source_weights=[0.5, 0.5],
+                                 target_weights=[0.5, 0.5],
+                                 source_support=[0.0, 1.0],
+                                 target_support=[0.0, 2.0]),
+                       method="screened", screen_max_iter=1,
+                       screen_tol=1e-300)
+        assert result.extras["support_density"] == 1.0
+        assert result.converged

@@ -141,3 +141,29 @@ class TestExperimentCommand:
         for artefact in ("tradeoff", "correlation", "monge"):
             args = parser.parse_args(["experiment", artefact])
             assert args.artefact == artefact
+
+
+class TestSolversCommand:
+    def test_lists_registered_solvers(self, capsys):
+        assert main(["solvers"]) == 0
+        output = capsys.readouterr().out
+        for name in ("exact", "simplex", "sinkhorn", "screened", "auto"):
+            assert name in output
+
+    def test_design_rejects_unknown_solver_with_names(self, sample_csv,
+                                                      tmp_path, capsys):
+        data_path, _ = sample_csv
+        code = main(["design", str(data_path),
+                     str(tmp_path / "plan.npz"), "--solver", "quantum"])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "unknown solver" in err
+        assert "screened" in err  # the available names are listed
+
+    def test_design_accepts_registered_solver(self, sample_csv, tmp_path,
+                                              capsys):
+        data_path, _ = sample_csv
+        plan_path = tmp_path / "plan.npz"
+        assert main(["design", str(data_path), str(plan_path),
+                     "--n-states", "12", "--solver", "lp"]) == 0
+        assert plan_path.exists()
