@@ -1,0 +1,190 @@
+"""Benchmark: sparse plan archives and the parallel Algorithm-1 design.
+
+Two claims from the sparse-plans work are measured here:
+
+1. **Archive shrink.** A screened design at ``n_Q = 500`` produces plans
+   with ``O(n_Q)`` support; storing them CSR (plan-format v2) instead of
+   as dense ``(n_Q, n_Q)`` matrices shrinks the saved archive roughly
+   ``n_Q``-fold — the assertion below requires >= 10x against the
+   v1-layout dense storage of the very same design.
+2. **Design-time speedup.** The ``(u, k)`` cells of Algorithm 1 are
+   independent, so ``design_repair(n_jobs=2)`` fans them over a process
+   pool.  On a many-feature dataset (12 cells of screened solves) the
+   wall-clock win must be visible despite process start-up, and the
+   parallel plans must be bit-identical to the serial ones.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.design import design_repair
+from repro.core.plan import FeaturePlan, RepairPlan
+from repro.core.repair import repair_dataset
+from repro.core.serialize import save_plan, load_plan
+from repro.data.simulated import GaussianMixtureSpec
+
+N_STATES = 500
+
+
+def _densified(plan: RepairPlan) -> RepairPlan:
+    """The same RepairPlan with every transport stored densely (the
+    v1-era layout)."""
+    cells = {}
+    for key, feature_plan in plan.feature_plans.items():
+        cells[key] = FeaturePlan(
+            grid=feature_plan.grid, marginals=feature_plan.marginals,
+            barycenter=feature_plan.barycenter,
+            transports={s: t.to_dense()
+                        for s, t in feature_plan.transports.items()},
+            diagnostics=feature_plan.diagnostics)
+    return RepairPlan(feature_plans=cells, n_features=plan.n_features,
+                      t=plan.t, metadata=plan.metadata)
+
+
+@pytest.fixture(scope="module")
+def screened_plan(paper_scale_split):
+    return design_repair(paper_scale_split.research, N_STATES,
+                         solver="screened")
+
+
+@pytest.fixture(scope="module")
+def archive_sizes(screened_plan, tmp_path_factory):
+    """Paths for the same design under three storage policies.
+
+    The >=10x claim compares the *storage formats* (dense O(n_Q^2) bytes
+    vs CSR O(n_Q)) under the v2 default compression policy (none).  The
+    v1 writer always deflated, and deflate compresses a mostly-zero dense
+    matrix very well — so the as-shipped v1 file is also written and
+    reported for transparency; against it the honest win is v2+compress
+    (smaller AND no O(n_Q^2) inflate on the load hot path).
+    """
+    out = tmp_path_factory.mktemp("plans")
+    dense = _densified(screened_plan)
+    return {
+        "v2_sparse": save_plan(screened_plan, out / "v2_sparse.npz"),
+        "v2_sparse_deflate": save_plan(screened_plan,
+                                       out / "v2_sparse_deflate.npz",
+                                       compress=True),
+        "v1_dense": save_plan(dense, out / "v1_dense.npz"),
+        "v1_dense_deflate": save_plan(dense, out / "v1_dense_deflate.npz",
+                                      compress=True),
+    }
+
+
+@pytest.fixture(scope="module")
+def many_feature_split(bench_rng):
+    """Six correlated features -> 12 screened design cells."""
+    d = 6
+    shift = np.linspace(1.0, 0.2, d)
+    spec = GaussianMixtureSpec(
+        means={(0, 0): -shift, (0, 1): np.zeros(d),
+               (1, 0): shift, (1, 1): np.zeros(d)},
+        p_u0=0.5, p_s0_given_u={0: 0.3, 1: 0.1})
+    return spec.sample(3000, rng=bench_rng).split(n_research=600,
+                                                  rng=bench_rng)
+
+
+@pytest.fixture(scope="module")
+def design_timings(many_feature_split):
+    timings = {}
+    plans = {}
+    for n_jobs in (1, 2):
+        start = time.perf_counter()
+        plans[n_jobs] = design_repair(many_feature_split.research, 300,
+                                      solver="screened", n_jobs=n_jobs)
+        timings[n_jobs] = time.perf_counter() - start
+    return timings, plans
+
+
+def test_sparse_archive_at_least_10x_smaller(screened_plan, archive_sizes):
+    # Sanity: the screened design really is CSR-backed end-to-end.
+    densities = [t.density for fp in screened_plan.feature_plans.values()
+                 for t in fp.transports.values()]
+    assert all(fp.transports[s].is_sparse
+               for fp in screened_plan.feature_plans.values()
+               for s in fp.s_values)
+    assert max(densities) < 0.05
+    ratio = (archive_sizes["v1_dense"].stat().st_size
+             / archive_sizes["v2_sparse"].stat().st_size)
+    assert ratio >= 10.0, (
+        f"v2 sparse archive only {ratio:.1f}x smaller than dense")
+    # Against the deflated-dense v1 file actually shipped, sparse must
+    # still win when deflated itself.
+    assert (archive_sizes["v2_sparse_deflate"].stat().st_size
+            < archive_sizes["v1_dense_deflate"].stat().st_size)
+
+
+def test_sparse_archive_round_trips(screened_plan, archive_sizes,
+                                    paper_scale_split):
+    sparse_path = archive_sizes["v2_sparse"]
+    dense_path = archive_sizes["v1_dense"]
+    from_sparse = load_plan(sparse_path)
+    from_dense = load_plan(dense_path)
+    archive = paper_scale_split.archive.take(np.arange(1000))
+    a = repair_dataset(archive, from_sparse, rng=np.random.default_rng(1))
+    b = repair_dataset(archive, from_dense, rng=np.random.default_rng(1))
+    c = repair_dataset(archive, screened_plan,
+                       rng=np.random.default_rng(1))
+    np.testing.assert_allclose(a.features, c.features)
+    np.testing.assert_allclose(b.features, c.features)
+
+
+@pytest.mark.skipif((os.cpu_count() or 1) < 2,
+                    reason="parallel speedup needs >= 2 CPU cores")
+def test_parallel_design_is_faster(design_timings):
+    timings, _ = design_timings
+    # Two workers over 12 independent screened cells; require a modest
+    # 1.25x so the bench stays robust on loaded machines.
+    assert timings[2] * 1.25 < timings[1], (
+        f"n_jobs=2 took {timings[2]:.2f}s vs serial {timings[1]:.2f}s")
+
+
+def test_parallel_design_matches_serial(design_timings):
+    _, plans = design_timings
+    for key, expected in plans[1].feature_plans.items():
+        got = plans[2].feature_plans[key]
+        for s in (0, 1):
+            np.testing.assert_array_equal(got.transports[s].toarray(),
+                                          expected.transports[s].toarray())
+
+
+def test_record_results(screened_plan, archive_sizes, design_timings):
+    from _results import save_result
+
+    sizes = {name: path.stat().st_size
+             for name, path in archive_sizes.items()}
+    timings, plans = design_timings
+    n_plans = sum(len(fp.transports)
+                  for fp in screened_plan.feature_plans.values())
+    nnz = sum(fp.transports[s].nnz
+              for fp in screened_plan.feature_plans.values()
+              for s in fp.s_values)
+    lines = [
+        f"Plan archives — screened design, n_Q = {N_STATES}, "
+        f"{n_plans} transport plans ({nnz} stored non-zeros total)",
+        f"  v1-layout dense, plain    : {sizes['v1_dense']:>12,} bytes",
+        f"  v1-layout dense, deflated : "
+        f"{sizes['v1_dense_deflate']:>12,} bytes  (as v1 shipped)",
+        f"  v2 CSR sparse, plain      : {sizes['v2_sparse']:>12,} bytes  "
+        f"(v2 default)",
+        f"  v2 CSR sparse, deflated   : "
+        f"{sizes['v2_sparse_deflate']:>12,} bytes  (--compress)",
+        f"  storage shrink (dense vs sparse, plain)    : "
+        f"{sizes['v1_dense'] / sizes['v2_sparse']:.1f}x",
+        f"  storage shrink (dense vs sparse, deflated) : "
+        f"{sizes['v1_dense_deflate'] / sizes['v2_sparse_deflate']:.2f}x",
+        "  (deflate hides the dense format's O(n_Q^2) zeros on disk but "
+        "not in RAM or load time)",
+        "",
+        "Parallel Algorithm-1 design — 6 features x 2 groups "
+        f"(12 screened cells), n_Q = 300, {os.cpu_count()} core(s)",
+        f"  serial (n_jobs=1) : {timings[1]:.2f}s",
+        f"  n_jobs=2          : {timings[2]:.2f}s "
+        f"({timings[1] / timings[2]:.2f}x speedup, plans bit-identical)",
+    ]
+    save_result("sparse_plans", "\n".join(lines))

@@ -127,6 +127,18 @@ def build_parser() -> argparse.ArgumentParser:
                              "available names")
     design.add_argument("--marginal-estimator", default="kde",
                         choices=("kde", "linear"))
+    design.add_argument("--n-jobs", type=int, default=None,
+                        help="fan the independent (u, k) design cells "
+                             "across this many worker processes "
+                             "(default: serial)")
+    design.add_argument("--sparse-plans", action="store_true",
+                        help="store transport plans CSR-sparse; cuts the "
+                             "plan archive roughly n_Q-fold for screened/"
+                             "exact designs")
+    design.add_argument("--compress", action="store_true",
+                        help="deflate the plan archive (only worthwhile "
+                             "for dense entropic plans; sparse archives "
+                             "gain little)")
 
     repair = commands.add_parser(
         "repair", help="repair an archival CSV with saved plans")
@@ -195,11 +207,15 @@ def _run_design(args) -> int:
     research = read_csv_dataset(args.research_csv)
     repairer = DistributionalRepairer(
         n_states=args.n_states, t=args.t, solver=args.solver,
-        marginal_estimator=args.marginal_estimator)
+        marginal_estimator=args.marginal_estimator, n_jobs=args.n_jobs,
+        sparse_plans=args.sparse_plans)
     repairer.fit(research)
-    written = save_plan(repairer.plan, args.plan_file)
-    print(f"designed {len(repairer.plan.feature_plans)} feature plans on "
-          f"{len(research)} research rows -> {written}")
+    written = save_plan(repairer.plan, args.plan_file,
+                        compress=args.compress)
+    n_sparse = repairer.plan.metadata.get("n_sparse_transports", 0)
+    print(f"designed {len(repairer.plan.feature_plans)} feature plans "
+          f"({n_sparse} sparse transports) on {len(research)} research "
+          f"rows -> {written}")
     return 0
 
 

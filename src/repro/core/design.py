@@ -26,6 +26,8 @@ The per-``(u, s, k)`` :class:`~repro.ot.problem.OTResult` diagnostics
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
+
 import numpy as np
 
 from .._validation import check_positive_int, check_probability
@@ -34,12 +36,16 @@ from ..density.grid import InterpolationGrid
 from ..density.kde import interpolate_pmf
 from ..exceptions import ValidationError
 from ..ot.barycenter import barycenter_1d, project_onto_grid
+from ..ot.coupling import SPARSE_DENSITY_THRESHOLD, TransportPlan
 from ..ot.problem import OTProblem, OTResult
 from ..ot.registry import Solver, filter_opts, resolve_solver
 from ..ot.solve import solve
 from .plan import FeaturePlan, RepairPlan
 
 __all__ = ["design_repair", "design_feature_plan", "SOLVERS"]
+
+#: Valid ``sparse_plans`` storage policies.
+SPARSE_PLAN_MODES = (False, True, "auto")
 
 #: The paper's original plan-solver trio; kept for backwards compatibility.
 #: Any solver registered with :func:`repro.ot.register_solver` is accepted.
@@ -57,7 +63,8 @@ def design_feature_plan(samples_by_s: dict, n_states: int, *, t: float = 0.5,
                         marginal_estimator: str = "kde",
                         bandwidth_method: str = "silverman",
                         padding: float = 0.0,
-                        epsilon: float = 5e-3) -> FeaturePlan:
+                        epsilon: float = 5e-3,
+                        sparse_plans=False) -> FeaturePlan:
     """Design the repair machinery for a single ``(u, k)`` cell.
 
     Parameters
@@ -89,7 +96,16 @@ def design_feature_plan(samples_by_s: dict, n_states: int, *, t: float = 0.5,
     epsilon:
         Entropic regularisation passed to the ``"sinkhorn"`` /
         ``"sinkhorn_log"`` / ``"screened"`` solvers; ignored otherwise.
+    sparse_plans:
+        Plan-storage policy: ``False`` (default — keep whatever storage
+        the solver produced; the screened hybrid already returns CSR),
+        ``True`` (convert every plan to CSR), or ``"auto"`` (convert
+        plans whose density is at most
+        :data:`~repro.ot.coupling.SPARSE_DENSITY_THRESHOLD` — which
+        includes the ``O(n_Q)``-support monotone plans of the default
+        ``"exact"`` solver).
     """
+    sparse_plans = _check_sparse_mode(sparse_plans)
     if set(samples_by_s) != {0, 1}:
         raise ValidationError(
             f"samples_by_s must contain both s=0 and s=1, got "
@@ -132,8 +148,10 @@ def design_feature_plan(samples_by_s: dict, n_states: int, *, t: float = 0.5,
         s: _solve_plan(grid.nodes, marginals[s], target, resolved, epsilon)
         for s in (0, 1)
     }
+    transports = {s: _select_storage(r.plan, sparse_plans)
+                  for s, r in results.items()}
     return FeaturePlan(grid=grid, marginals=marginals, barycenter=target,
-                       transports={s: r.plan for s, r in results.items()},
+                       transports=transports,
                        diagnostics={s: r.summary()
                                     for s, r in results.items()})
 
@@ -142,7 +160,9 @@ def design_repair(research: FairnessDataset, n_states=50, *, t: float = 0.5,
                   solver="exact",
                   marginal_estimator: str = "kde",
                   bandwidth_method: str = "silverman",
-                  padding: float = 0.0, epsilon: float = 5e-3) -> RepairPlan:
+                  padding: float = 0.0, epsilon: float = 5e-3,
+                  n_jobs: int | None = None,
+                  sparse_plans=False) -> RepairPlan:
     """Algorithm 1 over every ``(u, k)`` cell of the research data.
 
     Parameters
@@ -155,6 +175,17 @@ def design_repair(research: FairnessDataset, n_states=50, *, t: float = 0.5,
     solver:
         Any registry-resolvable solver spec (see
         :func:`design_feature_plan`).
+    n_jobs:
+        ``None`` or ``1`` designs the cells serially (default).  ``>= 2``
+        fans the ``(u, k)`` cells across a process pool of that many
+        workers — the cells are independent per the paper's
+        stratification, and the per-cell computation is deterministic, so
+        the parallel result is identical to the serial one (plans bitwise,
+        diagnostics up to wall time).  Requires a picklable ``solver``
+        spec (any registered name qualifies).
+    sparse_plans:
+        Plan-storage policy forwarded to :func:`design_feature_plan`:
+        ``False`` / ``True`` / ``"auto"``.
 
     Returns
     -------
@@ -163,7 +194,15 @@ def design_repair(research: FairnessDataset, n_states=50, *, t: float = 0.5,
         per-cell :class:`~repro.ot.problem.OTResult` diagnostics.
     """
     resolved = resolve_solver(solver)
-    feature_plans: dict = {}
+    sparse_plans = _check_sparse_mode(sparse_plans)
+    if n_jobs is not None:
+        n_jobs = check_positive_int(n_jobs, name="n_jobs")
+    cell_kwargs = {"t": t, "solver": resolved,
+                   "marginal_estimator": marginal_estimator,
+                   "bandwidth_method": bandwidth_method,
+                   "padding": padding, "epsilon": epsilon,
+                   "sparse_plans": sparse_plans}
+    jobs = []
     for u in research.u_values:
         group = research.group(int(u))
         sizes = {s: int(np.sum(group.s == s)) for s in (0, 1)}
@@ -176,11 +215,20 @@ def design_repair(research: FairnessDataset, n_states=50, *, t: float = 0.5,
             samples_by_s = {
                 s: group.features[group.s == s, k] for s in (0, 1)
             }
-            feature_plans[(int(u), k)] = design_feature_plan(
-                samples_by_s, cell_states, t=t, solver=resolved,
-                marginal_estimator=marginal_estimator,
-                bandwidth_method=bandwidth_method, padding=padding,
-                epsilon=epsilon)
+            jobs.append(((int(u), k), samples_by_s, cell_states))
+
+    if n_jobs is None or n_jobs == 1:
+        feature_plans = {
+            key: design_feature_plan(samples_by_s, cell_states,
+                                     **cell_kwargs)
+            for key, samples_by_s, cell_states in jobs
+        }
+    else:
+        payloads = [(key, samples_by_s, cell_states, cell_kwargs)
+                    for key, samples_by_s, cell_states in jobs]
+        with ProcessPoolExecutor(max_workers=min(n_jobs,
+                                                 len(payloads))) as pool:
+            feature_plans = dict(pool.map(_design_cell_worker, payloads))
 
     ot_wall_time = 0.0
     n_unconverged = 0
@@ -202,12 +250,53 @@ def design_repair(research: FairnessDataset, n_states=50, *, t: float = 0.5,
         "group_sizes": research.group_sizes(),
         "ot_wall_time": ot_wall_time,
         "n_unconverged": n_unconverged,
+        "n_jobs": 1 if n_jobs is None else int(n_jobs),
+        "sparse_plans": sparse_plans,
+        "n_sparse_transports": sum(
+            int(plan.is_sparse) for feature_plan in feature_plans.values()
+            for plan in feature_plan.transports.values()),
     }
     if epsilon_used:
         metadata["epsilon"] = epsilon
     return RepairPlan(feature_plans=feature_plans,
                       n_features=research.n_features, t=t,
                       metadata=metadata)
+
+
+def _design_cell_worker(payload):
+    """Design one ``(u, k)`` cell in a pool worker process.
+
+    Module-level (not a closure) so it pickles; the deterministic per-cell
+    computation makes the fan-out result identical to the serial loop.
+    """
+    key, samples_by_s, cell_states, cell_kwargs = payload
+    return key, design_feature_plan(samples_by_s, cell_states,
+                                    **cell_kwargs)
+
+
+def _check_sparse_mode(sparse_plans):
+    """Validate a ``sparse_plans`` spec and return its canonical form
+    (``False`` / ``True`` / ``"auto"``), so bool-likes such as ``1`` or
+    ``numpy.True_`` behave as the caller intends rather than silently
+    falling through the storage dispatch."""
+    if isinstance(sparse_plans, str):
+        if sparse_plans == "auto":
+            return "auto"
+    elif sparse_plans in (False, True):
+        return bool(sparse_plans)
+    raise ValidationError(
+        f"unknown sparse_plans mode {sparse_plans!r}; expected one of "
+        f"{SPARSE_PLAN_MODES}")
+
+
+def _select_storage(plan: TransportPlan, sparse_plans) -> TransportPlan:
+    """Apply the (canonicalised) ``sparse_plans`` policy to one plan."""
+    if sparse_plans is True:
+        return plan.to_sparse()
+    if sparse_plans == "auto" and not plan.is_sparse \
+            and plan.density <= SPARSE_DENSITY_THRESHOLD:
+        return plan.to_sparse()
+    return plan
 
 
 def _resolve_states(n_states, u: int, k: int) -> int:

@@ -27,6 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+from scipy import sparse
 
 from .._validation import as_rng, check_positive_int, check_probability
 from ..data.dataset import FairnessDataset
@@ -36,6 +37,7 @@ from ..density.kde import gaussian_kernel
 from ..exceptions import NotFittedError, ValidationError
 from ..ot.barycenter import sinkhorn_barycenter
 from ..ot.cost import squared_euclidean_cost
+from ..ot.coupling import conditional_cumulative, sample_conditional_rows
 from ..ot.problem import OTProblem
 from ..ot.registry import filter_opts, resolve_solver
 from ..ot.solve import solve
@@ -63,7 +65,9 @@ class JointFeaturePlan:
     barycenter:
         Repair-target pmf over the product grid.
     conditionals:
-        ``s -> (N, N) row-normalised conditional matrix`` of the plan.
+        ``s -> (N, N) row-normalised conditional matrix`` of the plan —
+        dense, or a CSR sparse array when the plan solver kept the
+        coupling sparse.
     """
 
     grids: tuple
@@ -72,6 +76,9 @@ class JointFeaturePlan:
     barycenter: np.ndarray
     conditionals: dict
 
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_sampler_cache", {})
+
     @property
     def shape(self) -> tuple:
         return tuple(grid.n_states for grid in self.grids)
@@ -79,6 +86,20 @@ class JointFeaturePlan:
     @property
     def n_states(self) -> int:
         return int(np.prod(self.shape))
+
+    def sample_states(self, s: int, flat_rows, uniforms) -> np.ndarray:
+        """Inverse-CDF draw over ``conditionals[s]`` rows; for CSR
+        conditionals the running cumulative sum is cached per ``s`` (it is
+        recomputed otherwise on every repair batch)."""
+        conditionals = self.conditionals[s]
+        cumulative = None
+        if sparse.issparse(conditionals):
+            cache = getattr(self, "_sampler_cache")
+            if s not in cache:
+                cache[s] = conditional_cumulative(conditionals)
+            cumulative = cache[s]
+        return sample_conditional_rows(conditionals, flat_rows, uniforms,
+                                       cumulative=cumulative)
 
 
 @dataclass(frozen=True)
@@ -184,10 +205,10 @@ def design_joint_repair(research: FairnessDataset, n_states: int = 15, *,
                                           "tol": 1e-9})
             result = solve(problem, method=resolved, **opts)
             ot_diagnostics.setdefault(int(u), {})[s] = result.summary()
-            plan = result.matrix
-            rows = plan.sum(axis=1, keepdims=True)
-            rows[rows <= 1e-300] = 1.0
-            conditionals[s] = plan / rows
+            # Row-normalise through TransportPlan: vectorised, zero rows
+            # fall back to a nearest-target point mass, and CSR plans
+            # (e.g. from the "screened" solver) stay sparse.
+            conditionals[s] = result.plan.conditional_matrix()
         group_plans[int(u)] = JointFeaturePlan(
             grids=grids, nodes=nodes, marginals=marginals,
             barycenter=target, conditionals=conditionals)
@@ -281,10 +302,6 @@ class JointDistributionalRepairer:
                                            grid.n_states - 1))
         flat_rows = np.ravel_multi_index(tuple(per_dim_rows), shape)
 
-        conditionals = group_plan.conditionals[s]
-        cdfs = np.cumsum(conditionals[flat_rows], axis=1)
-        cdfs[:, -1] = 1.0
         draws = generator.random(values.shape[0])
-        states = (cdfs < draws[:, None]).sum(axis=1)
-        states = np.minimum(states, group_plan.n_states - 1)
+        states = group_plan.sample_states(s, flat_rows, draws)
         return group_plan.nodes[states]

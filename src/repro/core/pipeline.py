@@ -66,7 +66,10 @@ class RepairPipeline:
         ``solver``, ...).  ``solver`` accepts any OT-registry-resolvable
         spec — a registered name, a callable, or a
         :class:`~repro.ot.registry.Solver` — so the whole pipeline runs
-        on a pluggable OT backend.
+        on a pluggable OT backend.  ``n_jobs`` fans the Algorithm-1
+        design cells across a process pool and ``sparse_plans`` selects
+        CSR plan storage — the two scale knobs for many-feature,
+        large-``n_Q`` deployments.
     """
 
     def __init__(self, *, estimate_labels: bool = False, n_grid: int = 100,

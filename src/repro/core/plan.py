@@ -20,7 +20,8 @@ import numpy as np
 
 from ..density.grid import InterpolationGrid
 from ..exceptions import ValidationError
-from ..ot.coupling import TransportPlan
+from ..ot.coupling import (TransportPlan, conditional_cumulative,
+                           sample_conditional_rows)
 
 __all__ = ["FeaturePlan", "RepairPlan"]
 
@@ -38,7 +39,10 @@ class FeaturePlan:
     barycenter:
         The repair target ``ν_{u,k}`` on the grid.
     transports:
-        ``s -> TransportPlan`` with ``π*_{u,s,k}`` from marginal to target.
+        ``s -> TransportPlan`` with ``π*_{u,s,k}`` from marginal to target;
+        each plan is dense- or CSR-backed (see
+        :class:`~repro.ot.coupling.TransportPlan`), and every operation
+        here works on either storage.
     diagnostics:
         ``s -> OTResult.summary()`` record of the solve that produced each
         transport (solver name, convergence, residual, wall time, ...).
@@ -80,21 +84,58 @@ class FeaturePlan:
         return tuple(sorted(self.transports))
 
     def conditional_cdfs(self, s: int) -> np.ndarray:
-        """Row-wise CDFs of ``π*_{·,s}``; the sampler of Algorithm 2 Eq. 15.
+        """Row-wise CDFs of ``π*_{·,s}`` as a dense array.
 
         Row ``q`` is the cumulative distribution of the repaired state given
         source state ``q``.  The array is computed once per ``s`` and
-        cached (Algorithm 2 calls this on every batch), so callers must
-        treat it as read-only and copy before mutating.
+        cached, so callers must treat it as read-only and copy before
+        mutating.  For CSR-backed transports this *densifies* — it is a
+        convenience/inspection view; the Algorithm-2 hot path goes through
+        :meth:`sample_targets`, which stays sparse.
         """
         if s not in self.transports:
             raise ValidationError(
                 f"no transport plan for s={s}; have {self.s_values}")
         cache = getattr(self, "_cdf_cache")
-        if s not in cache:
+        key = ("cdf", s)
+        if key not in cache:
             conditionals = self.transports[s].conditional_matrix()
-            cache[s] = np.cumsum(conditionals, axis=1)
-        return cache[s]
+            if self.transports[s].is_sparse:
+                conditionals = conditionals.toarray()
+            cache[key] = np.cumsum(conditionals, axis=1)
+        return cache[key]
+
+    def sample_targets(self, s: int, rows, uniforms) -> np.ndarray:
+        """Repaired grid state per ``(source row, uniform draw)`` pair —
+        the vectorised sampler of Algorithm 2 Eq. 15.
+
+        Dense transports sample through the cached row-CDF matrix; CSR
+        transports sample directly on the sparse conditional structure
+        (cached per ``s``) without ever materialising an
+        ``(n_Q, n_Q)`` array.
+        """
+        if s not in self.transports:
+            raise ValidationError(
+                f"no transport plan for s={s}; have {self.s_values}")
+        plan = self.transports[s]
+        rows = np.asarray(rows)
+        uniforms = np.asarray(uniforms, dtype=float)
+        if plan.is_sparse:
+            cache = getattr(self, "_cdf_cache")
+            key = ("sparse-sampler", s)
+            if key not in cache:
+                conditionals = plan.conditional_matrix()
+                cache[key] = (conditionals,
+                              conditional_cumulative(conditionals))
+            conditionals, cumulative = cache[key]
+            return sample_conditional_rows(conditionals, rows, uniforms,
+                                           cumulative=cumulative)
+        cdfs = self.conditional_cdfs(s)
+        # `cdfs` is the shared cache, so only mutate the np.take copy.
+        row_cdfs = np.take(cdfs, rows, axis=0)
+        row_cdfs[:, -1] = 1.0  # guard round-off (< 1.0 row sums)
+        states = (row_cdfs < uniforms[:, None]).sum(axis=1)
+        return np.minimum(states, self.grid.n_states - 1)
 
     def expected_targets(self, s: int) -> np.ndarray:
         """Conditional-mean repaired value per source state (deterministic

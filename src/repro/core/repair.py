@@ -87,17 +87,12 @@ def repair_feature_values(values, feature_plan: FeaturePlan, s: int, *,
         return feature_plan.expected_targets(s)[rows]
 
     generator = as_rng(rng)
-    cdfs = feature_plan.conditional_cdfs(s)
     draws = generator.random(xs.size)
-    # Vectorised inverse-CDF sampling: one searchsorted per point into its
-    # own row.  Guard the last column against round-off (< 1.0 sums).
-    # `cdfs` is the FeaturePlan's cached array (shared across calls), so
-    # the clamp below must only ever touch a fresh copy — np.take
-    # guarantees one regardless of how `rows` is shaped.
-    row_cdfs = np.take(cdfs, rows, axis=0)
-    row_cdfs[:, -1] = 1.0
-    states = (row_cdfs < draws[:, None]).sum(axis=1)
-    states = np.minimum(states, grid.n_states - 1)
+    # Vectorised inverse-CDF sampling, storage-agnostic: dense plans go
+    # through the cached row-CDF matrix, CSR plans sample on the sparse
+    # conditional structure without densifying (see
+    # FeaturePlan.sample_targets).
+    states = feature_plan.sample_targets(s, rows, draws)
     repaired = grid.nodes[states]
     if output == "interpolated":
         jitter = generator.uniform(-0.5, 0.5, size=xs.size) * grid.spacing
@@ -162,6 +157,14 @@ class DistributionalRepairer:
     rounding, output:
         Algorithm-2 randomisation controls (see
         :func:`repair_feature_values`).
+    n_jobs:
+        Fan the independent ``(u, k)`` design cells of Algorithm 1 across
+        a process pool (see :func:`~repro.core.design.design_repair`);
+        ``None``/1 designs serially.
+    sparse_plans:
+        Plan-storage policy: ``False`` (keep whatever the solver
+        produced), ``True`` (force CSR), or ``"auto"`` (CSR when the plan
+        density is below the threshold).
     rng:
         Seed or generator for the repair randomness; ``transform`` also
         accepts a per-call override.
@@ -173,6 +176,7 @@ class DistributionalRepairer:
                  bandwidth_method: str = "silverman",
                  padding: float = 0.0, epsilon: float = 5e-3,
                  rounding: str = "stochastic", output: str = "sample",
+                 n_jobs: int | None = None, sparse_plans=False,
                  rng=None) -> None:
         if rounding not in ROUNDING_MODES:
             raise ValidationError(
@@ -190,6 +194,8 @@ class DistributionalRepairer:
         self.epsilon = epsilon
         self.rounding = rounding
         self.output = output
+        self.n_jobs = n_jobs
+        self.sparse_plans = sparse_plans
         self._rng = as_rng(rng)
         self._plan: RepairPlan | None = None
 
@@ -212,7 +218,8 @@ class DistributionalRepairer:
             research, self.n_states, t=self.t, solver=self.solver,
             marginal_estimator=self.marginal_estimator,
             bandwidth_method=self.bandwidth_method, padding=self.padding,
-            epsilon=self.epsilon)
+            epsilon=self.epsilon, n_jobs=self.n_jobs,
+            sparse_plans=self.sparse_plans)
         return self
 
     def transform(self, dataset: FairnessDataset, *,

@@ -10,6 +10,39 @@ so the plan must survive a round-trip to disk.
 :class:`~repro.core.plan.RepairPlan` to a single ``.npz`` archive: every
 array under a structured key plus a JSON header carrying the design
 metadata. The format is versioned and validated on load.
+
+On-disk layout (format version 2)
+---------------------------------
+
+* ``__header__`` — UTF-8 JSON with ``format_version``, ``n_features``,
+  ``t``, ``metadata``, the ``cells`` list of ``[u, k]`` pairs, each
+  cell's actual protected-class labels under ``s_values``
+  (``"u_k" -> [s, ...]``), and optional per-cell solver ``diagnostics``.
+* per cell ``(u, k)``: ``cell_{u}_{k}_nodes`` and
+  ``cell_{u}_{k}_barycenter``; per protected class ``s``:
+  ``cell_{u}_{k}_marginal_{s}``, ``cell_{u}_{k}_cost_{s}``, and the plan
+  ``π*_{u,s,k}`` stored **either** densely under ``cell_{u}_{k}_plan_{s}``
+  **or** as the CSR triplet ``cell_{u}_{k}_plan_{s}_data`` /
+  ``..._indices`` / ``..._indptr`` when the in-memory
+  :class:`~repro.ot.coupling.TransportPlan` is CSR-backed.  Sparse
+  storage is what makes large-``n_Q`` screened designs archive at
+  ``O(n_Q)`` instead of ``O(n_Q²)`` bytes.
+* v2 archives are written as plain (uncompressed) ``.npz`` by default:
+  with sparse plan storage there is almost nothing left for deflate to
+  win (measured ≤ 1.4x on screened designs) while compression slows the
+  save/load hot path of a long-lived repair service.  Pass
+  ``compress=True`` to restore deflate — worthwhile for archives that
+  keep fully dense entropic plans.
+
+Compatibility policy
+--------------------
+
+``load_plan`` reads both version 2 and the original version 1 layout
+(always-dense plans, no ``s_values`` header field).  For v1 archives the
+protected-class labels are recovered from the array keys themselves, so
+v1 plans designed with labels other than ``{0, 1}`` — which the original
+loader wrongly rejected as corrupt — now load too.  ``save_plan`` always
+writes the current version; there is no downgrade path.
 """
 
 from __future__ import annotations
@@ -27,14 +60,20 @@ from .plan import FeaturePlan, RepairPlan
 __all__ = ["save_plan", "load_plan", "FORMAT_VERSION"]
 
 #: Bump when the on-disk layout changes incompatibly.
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+
+#: Oldest archive version :func:`load_plan` still reads.
+_OLDEST_READABLE_VERSION = 1
 
 
-def save_plan(plan: RepairPlan, path) -> Path:
+def save_plan(plan: RepairPlan, path, *, compress: bool = False) -> Path:
     """Serialise ``plan`` to ``path`` (a ``.npz`` archive).
 
-    Returns the resolved path actually written (numpy appends ``.npz``
-    when missing).
+    CSR-backed transports are stored as ``(data, indices, indptr)``
+    triplets, dense ones as full matrices.  ``compress`` opts into
+    deflate (see the module docstring for the trade-off).  Returns the
+    resolved path actually written (numpy appends ``.npz`` when
+    missing).
     """
     if not isinstance(plan, RepairPlan):
         raise ValidationError(
@@ -47,11 +86,19 @@ def save_plan(plan: RepairPlan, path) -> Path:
         "t": plan.t,
         "metadata": _jsonable(plan.metadata),
         "cells": [[int(u), int(k)] for (u, k) in sorted(plan.feature_plans)],
+        # Each cell's actual protected-class labels; round-tripping them
+        # (instead of assuming {0, 1}) is what keeps "design once, apply
+        # forever" true for any label encoding.
+        "s_values": {
+            f"{int(u)}_{int(k)}": [_int_label(s)
+                                   for s in feature_plan.s_values]
+            for (u, k), feature_plan in plan.feature_plans.items()
+        },
         # Per-cell OTResult summaries; optional (absent in old archives).
         "diagnostics": {
             f"{int(u)}_{int(k)}": {
-                str(s): _jsonable(record) if isinstance(record, dict)
-                else _scalar(record)
+                str(_int_label(s)): _jsonable(record)
+                if isinstance(record, dict) else _scalar(record)
                 for s, record in feature_plan.diagnostics.items()
             }
             for (u, k), feature_plan in plan.feature_plans.items()
@@ -65,12 +112,25 @@ def save_plan(plan: RepairPlan, path) -> Path:
         arrays[f"{prefix}_nodes"] = feature_plan.grid.nodes
         arrays[f"{prefix}_barycenter"] = feature_plan.barycenter
         for s in feature_plan.s_values:
-            arrays[f"{prefix}_marginal_{s}"] = feature_plan.marginals[s]
-            arrays[f"{prefix}_plan_{s}"] = feature_plan.transports[s].matrix
-            arrays[f"{prefix}_cost_{s}"] = np.array(
-                feature_plan.transports[s].cost)
+            # Array keys must use the canonical int label the header's
+            # s_values advertise, or bool-likes would save under keys
+            # (e.g. "..._marginal_True") the loader never looks up.
+            label = _int_label(s)
+            transport = feature_plan.transports[s]
+            arrays[f"{prefix}_marginal_{label}"] = feature_plan.marginals[s]
+            arrays[f"{prefix}_cost_{label}"] = np.array(transport.cost)
+            if transport.is_sparse:
+                matrix = transport.matrix
+                arrays[f"{prefix}_plan_{label}_data"] = matrix.data
+                arrays[f"{prefix}_plan_{label}_indices"] = \
+                    matrix.indices.astype(np.int64)
+                arrays[f"{prefix}_plan_{label}_indptr"] = \
+                    matrix.indptr.astype(np.int64)
+            else:
+                arrays[f"{prefix}_plan_{label}"] = transport.matrix
 
-    np.savez_compressed(file_path, **arrays)
+    writer = np.savez_compressed if compress else np.savez
+    writer(file_path, **arrays)
     if file_path.suffix != ".npz":
         file_path = file_path.with_name(file_path.name + ".npz")
     return file_path
@@ -78,6 +138,9 @@ def save_plan(plan: RepairPlan, path) -> Path:
 
 def load_plan(path) -> RepairPlan:
     """Load a :class:`RepairPlan` previously written by :func:`save_plan`.
+
+    Reads the current sparse-aware version 2 layout and the original
+    version 1 layout (see the module docstring's compatibility policy).
 
     Raises
     ------
@@ -96,19 +159,25 @@ def load_plan(path) -> RepairPlan:
                     "(missing header)")
             header = json.loads(bytes(archive["__header__"]).decode("utf-8"))
             _check_version(header, file_path)
+            all_s_values = header.get("s_values", {})
             all_diagnostics = header.get("diagnostics", {})
             feature_plans = {}
             for u, k in header["cells"]:
                 prefix = f"cell_{u}_{k}"
                 nodes = archive[f"{prefix}_nodes"]
                 grid = InterpolationGrid(nodes)
+                s_values = all_s_values.get(f"{u}_{k}")
+                if s_values is None:
+                    # v1 archives carried no label list; recover the
+                    # labels from the keys instead of assuming {0, 1}.
+                    s_values = _infer_s_values(archive.files, prefix)
                 marginals = {}
                 transports = {}
-                for s in (0, 1):
+                for s in s_values:
+                    s = int(s)
                     marginals[s] = archive[f"{prefix}_marginal_{s}"]
-                    transports[s] = TransportPlan(
-                        archive[f"{prefix}_plan_{s}"], nodes, nodes,
-                        float(archive[f"{prefix}_cost_{s}"]))
+                    transports[s] = _load_transport(archive, prefix, s,
+                                                    nodes)
                 diagnostics = {
                     int(s): record
                     for s, record in all_diagnostics.get(f"{u}_{k}",
@@ -128,12 +197,50 @@ def load_plan(path) -> RepairPlan:
                       metadata=dict(header.get("metadata", {})))
 
 
+def _load_transport(archive, prefix: str, s: int,
+                    nodes: np.ndarray) -> TransportPlan:
+    """One plan from either its dense key or its CSR triplet keys."""
+    cost = float(archive[f"{prefix}_cost_{s}"])
+    dense_key = f"{prefix}_plan_{s}"
+    if dense_key in archive:
+        return TransportPlan(archive[dense_key], nodes, nodes, cost)
+    n = nodes.size
+    return TransportPlan.from_sparse(
+        (archive[f"{dense_key}_data"], archive[f"{dense_key}_indices"],
+         archive[f"{dense_key}_indptr"]),
+        nodes, nodes, cost, shape=(n, n))
+
+
+def _infer_s_values(keys, prefix: str) -> list:
+    """Protected-class labels present for ``prefix``, from the key names."""
+    marker = f"{prefix}_marginal_"
+    s_values = sorted(int(key[len(marker):]) for key in keys
+                      if key.startswith(marker))
+    if not s_values:
+        raise KeyError(f"no marginals stored for cell {prefix!r}")
+    return s_values
+
+
 def _check_version(header: dict, file_path: Path) -> None:
     version = header.get("format_version")
-    if version != FORMAT_VERSION:
+    if (not isinstance(version, int)
+            or not (_OLDEST_READABLE_VERSION <= version <= FORMAT_VERSION)):
         raise DataError(
             f"{file_path} uses plan-format version {version}; this "
-            f"library reads version {FORMAT_VERSION}")
+            f"library reads versions {_OLDEST_READABLE_VERSION}.."
+            f"{FORMAT_VERSION}")
+
+
+def _int_label(s) -> int:
+    """Protected-class labels are persisted as ints; reject anything else
+    early so the archive cannot be written unreadably."""
+    if isinstance(s, (bool, np.bool_)):
+        return int(s)
+    if isinstance(s, (int, np.integer)):
+        return int(s)
+    raise ValidationError(
+        f"plan archives require integer protected-class labels, got "
+        f"{s!r} ({type(s).__name__})")
 
 
 def _jsonable(metadata: dict) -> dict:

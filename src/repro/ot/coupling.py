@@ -6,6 +6,16 @@ and target distributions (paper Eq. 5).  :class:`TransportPlan` wraps the
 matrix together with its supports, checks the coupling constraints, and
 offers the operations the repair algorithms need: conditional rows
 (Eq. 15), barycentric projection (Eqs. 8-9), and transport cost.
+
+Storage is dual-mode: the plan matrix is either a dense ``(n, m)`` array or
+a CSR sparse array (:class:`scipy.sparse.csr_array`).  Screened and exact
+monotone plans have ``O(n + m)`` support, so CSR storage cuts the memory
+footprint roughly ``n``-fold; every operation below (conditionals,
+barycentric projection, inverse-CDF sampling) has a sparse path that never
+densifies.  Build sparse plans explicitly with :meth:`TransportPlan.
+from_sparse` or convert with :meth:`TransportPlan.to_sparse`; solvers
+auto-select CSR when the plan density falls below
+:data:`SPARSE_DENSITY_THRESHOLD`.
 """
 
 from __future__ import annotations
@@ -13,27 +23,108 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 import numpy as np
+from scipy import sparse as _sparse
 
 from .._validation import as_1d_array, as_probability_vector
 from ..exceptions import ValidationError
 
-__all__ = ["TransportPlan", "marginal_residual", "is_coupling"]
+__all__ = ["TransportPlan", "marginal_residual", "is_coupling",
+           "sample_conditional_rows", "conditional_cumulative",
+           "SPARSE_DENSITY_THRESHOLD"]
+
+#: Below this fraction of structural non-zeros a plan is worth storing as
+#: CSR: the triplet arrays (data + indices + indptr) then undercut the
+#: dense buffer by at least ~2x even counting the int64 index overhead.
+SPARSE_DENSITY_THRESHOLD = 0.25
 
 
-def marginal_residual(matrix: np.ndarray, source_weights: np.ndarray,
+def _row_sums(matrix) -> np.ndarray:
+    if _sparse.issparse(matrix):
+        return np.asarray(matrix.sum(axis=1)).ravel()
+    return matrix.sum(axis=1)
+
+
+def _col_sums(matrix) -> np.ndarray:
+    if _sparse.issparse(matrix):
+        return np.asarray(matrix.sum(axis=0)).ravel()
+    return matrix.sum(axis=0)
+
+
+def _inner_product(matrix, cost: np.ndarray) -> float:
+    """``<C, π>`` for a dense or CSR plan, without densifying."""
+    if _sparse.issparse(matrix):
+        row_of = np.repeat(np.arange(matrix.shape[0]),
+                           np.diff(matrix.indptr))
+        return float((cost[row_of, matrix.indices] * matrix.data).sum())
+    return float(np.sum(cost * matrix))
+
+
+def marginal_residual(matrix, source_weights: np.ndarray,
                       target_weights: np.ndarray) -> float:
-    """Max-norm violation of the coupling constraints of ``matrix``."""
-    row_err = np.abs(matrix.sum(axis=1) - source_weights).max()
-    col_err = np.abs(matrix.sum(axis=0) - target_weights).max()
+    """Max-norm violation of the coupling constraints of ``matrix``
+    (dense array or scipy sparse)."""
+    row_err = np.abs(_row_sums(matrix) - source_weights).max()
+    col_err = np.abs(_col_sums(matrix) - target_weights).max()
     return float(max(row_err, col_err))
 
 
-def is_coupling(matrix: np.ndarray, source_weights: np.ndarray,
+def is_coupling(matrix, source_weights: np.ndarray,
                 target_weights: np.ndarray, *, atol: float = 1e-6) -> bool:
     """True when ``matrix`` couples the two weight vectors within ``atol``."""
-    if np.any(matrix < -atol):
+    if _sparse.issparse(matrix):
+        if matrix.nnz and float(matrix.data.min()) < -atol:
+            return False
+    elif np.any(matrix < -atol):
         return False
     return marginal_residual(matrix, source_weights, target_weights) <= atol
+
+
+def conditional_cumulative(conditionals) -> np.ndarray:
+    """The zero-prefixed running sum over a CSR conditional matrix's data
+    — the exact layout :func:`sample_conditional_rows` expects as its
+    ``cumulative`` argument.  Hot callers compute it once per matrix and
+    cache it; this helper is the single definition of that contract.
+    """
+    return np.concatenate([[0.0], np.cumsum(conditionals.data,
+                                            dtype=float)])
+
+
+def sample_conditional_rows(conditionals, rows, uniforms, *,
+                            cumulative=None) -> np.ndarray:
+    """Vectorised inverse-CDF draw from selected rows of a row-stochastic
+    matrix (paper Eq. 15), one target state per ``(row, uniform)`` pair.
+
+    ``conditionals`` is a dense array or CSR sparse array whose rows each
+    sum to one.  The sparse path works on the CSR data directly — one
+    global :func:`numpy.searchsorted` over the running row-wise cumulative
+    sums — and never densifies.  ``cumulative`` optionally supplies that
+    precomputed running sum (``np.concatenate([[0], np.cumsum(data)])``)
+    so hot callers (Algorithm 2's batch loop) can cache it.
+    """
+    rows = np.asarray(rows)
+    uniforms = np.asarray(uniforms, dtype=float)
+    if _sparse.issparse(conditionals):
+        matrix = conditionals
+        if not _sparse.issparse(matrix) or matrix.format != "csr":
+            matrix = _sparse.csr_array(matrix)
+        lo = matrix.indptr[rows]
+        hi = matrix.indptr[rows + 1]
+        if np.any(hi == lo):
+            raise ValidationError(
+                "conditional matrix has empty rows; normalise it with "
+                "TransportPlan.conditional_matrix() first")
+        if cumulative is None:
+            cumulative = conditional_cumulative(matrix)
+        # Row r's CDF at its j-th stored entry is cum[lo+j+1] - cum[lo];
+        # the sampled entry index is the count of entries with CDF < u.
+        count = np.searchsorted(cumulative, cumulative[lo] + uniforms,
+                                side="left") - (lo + 1)
+        count = np.clip(count, 0, hi - lo - 1)
+        return matrix.indices[lo + count]
+    cdfs = np.cumsum(conditionals[rows], axis=1)
+    cdfs[:, -1] = 1.0  # guard round-off (< 1.0 row sums)
+    states = (cdfs < uniforms[:, None]).sum(axis=1)
+    return np.minimum(states, conditionals.shape[1] - 1)
 
 
 @dataclass(frozen=True)
@@ -43,7 +134,9 @@ class TransportPlan:
     Attributes
     ----------
     matrix:
-        ``(n, m)`` joint probability matrix ``π``.
+        ``(n, m)`` joint probability matrix ``π`` — a dense
+        :class:`numpy.ndarray` or a :class:`scipy.sparse.csr_array`
+        (any scipy sparse input is normalised to CSR).
     source_support, target_support:
         Support points of the two marginals, shape ``(n, d)`` / ``(m, d)``;
         1-D supports are stored as ``(n, 1)``.
@@ -59,29 +152,100 @@ class TransportPlan:
     _atol: float = field(default=1e-6, repr=False)
 
     def __post_init__(self) -> None:
-        matrix = np.asarray(self.matrix, dtype=float)
-        if matrix.ndim != 2:
-            raise ValidationError(
-                f"plan matrix must be 2-D, got shape {matrix.shape}")
-        if np.any(matrix < -self._atol):
-            raise ValidationError("plan matrix must be non-negative")
+        if _sparse.issparse(self.matrix):
+            matrix = _sparse.csr_array(self.matrix, copy=True)
+            if matrix.dtype != np.float64:
+                matrix = matrix.astype(float)
+            if matrix.nnz and float(matrix.data.min()) < -self._atol:
+                raise ValidationError("plan matrix must be non-negative")
+            np.clip(matrix.data, 0.0, None, out=matrix.data)
+        else:
+            matrix = np.asarray(self.matrix, dtype=float)
+            if matrix.ndim != 2:
+                raise ValidationError(
+                    f"plan matrix must be 2-D, got shape {matrix.shape}")
+            if np.any(matrix < -self._atol):
+                raise ValidationError("plan matrix must be non-negative")
+            matrix = np.clip(matrix, 0.0, None)
         source = _as_support(self.source_support, matrix.shape[0], "source")
         target = _as_support(self.target_support, matrix.shape[1], "target")
-        object.__setattr__(self, "matrix", np.clip(matrix, 0.0, None))
+        object.__setattr__(self, "matrix", matrix)
         object.__setattr__(self, "source_support", source)
         object.__setattr__(self, "target_support", target)
+
+    # -- storage -----------------------------------------------------------
+
+    @property
+    def is_sparse(self) -> bool:
+        """True when the plan matrix is CSR-backed."""
+        return _sparse.issparse(self.matrix)
+
+    @property
+    def nnz(self) -> int:
+        """Stored non-zero entries (dense plans count exact non-zeros)."""
+        if self.is_sparse:
+            return int(self.matrix.nnz)
+        return int(np.count_nonzero(self.matrix))
+
+    @property
+    def density(self) -> float:
+        """``nnz / (n * m)`` — the fraction of the plan that carries mass."""
+        n, m = self.shape
+        return self.nnz / float(n * m)
+
+    def toarray(self) -> np.ndarray:
+        """The plan as a dense array (a copy when CSR-backed)."""
+        if self.is_sparse:
+            return self.matrix.toarray()
+        return self.matrix
+
+    def to_sparse(self) -> "TransportPlan":
+        """CSR-backed copy of this plan (self when already sparse)."""
+        if self.is_sparse:
+            return self
+        return TransportPlan(_sparse.csr_array(self.matrix),
+                             self.source_support, self.target_support,
+                             self.cost)
+
+    def to_dense(self) -> "TransportPlan":
+        """Densely stored copy of this plan (self when already dense)."""
+        if not self.is_sparse:
+            return self
+        return TransportPlan(self.matrix.toarray(), self.source_support,
+                             self.target_support, self.cost)
+
+    @classmethod
+    def from_sparse(cls, matrix, source_support, target_support,
+                    cost: float = float("nan"), *,
+                    shape=None) -> "TransportPlan":
+        """Build a CSR-backed plan from sparse ingredients.
+
+        ``matrix`` is any scipy sparse matrix/array, or a CSR triplet
+        ``(data, indices, indptr)`` — the layout :func:`repro.core.
+        serialize.save_plan` persists — in which case ``shape`` is
+        required.
+        """
+        if isinstance(matrix, tuple) and len(matrix) == 3:
+            if shape is None:
+                raise ValidationError(
+                    "from_sparse needs an explicit shape with a "
+                    "(data, indices, indptr) triplet")
+            matrix = _sparse.csr_array(matrix, shape=shape)
+        elif not _sparse.issparse(matrix):
+            matrix = _sparse.csr_array(np.asarray(matrix, dtype=float))
+        return cls(matrix, source_support, target_support, cost)
 
     # -- marginals ---------------------------------------------------------
 
     @property
     def source_weights(self) -> np.ndarray:
         """Row sums: the source marginal ``µ``."""
-        return self.matrix.sum(axis=1)
+        return _row_sums(self.matrix)
 
     @property
     def target_weights(self) -> np.ndarray:
         """Column sums: the target marginal ``ν``."""
-        return self.matrix.sum(axis=0)
+        return _col_sums(self.matrix)
 
     @property
     def shape(self) -> tuple[int, int]:
@@ -111,31 +275,71 @@ class TransportPlan:
 
         Rows with (numerically) zero mass fall back to a point mass on the
         nearest-cost column, which keeps Algorithm 2 total: every archival
-        point gets a valid conditional distribution.
+        point gets a valid conditional distribution.  Always returns a
+        dense 1-D array (a single row is ``O(m)`` regardless of storage).
         """
-        row = self.matrix[index]
+        if self.is_sparse:
+            row = self.matrix[[index], :].toarray().ravel()
+        else:
+            row = self.matrix[index]
         total = row.sum()
         if total <= 1e-300:
-            fallback = np.zeros_like(row)
-            distances = np.linalg.norm(
-                self.target_support - self.source_support[index], axis=1)
-            fallback[int(np.argmin(distances))] = 1.0
+            fallback = np.zeros(self.shape[1])
+            fallback[self._nearest_targets(np.array([index]))[0]] = 1.0
             return fallback
         return row / total
 
-    def conditional_matrix(self) -> np.ndarray:
-        """All conditional rows stacked; rows sum to one."""
-        return np.vstack([self.conditional_row(i)
-                          for i in range(self.matrix.shape[0])])
+    def conditional_matrix(self):
+        """All conditional rows stacked; rows sum to one.
+
+        Vectorised: one division with a zero-row fallback mask (zero-mass
+        rows become a point mass on their nearest target).  Returns the
+        same storage as the plan — dense in, dense out; CSR in, CSR out
+        (the sparse path never densifies).
+        """
+        totals = _row_sums(self.matrix)
+        zero = totals <= 1e-300
+        safe = np.where(zero, 1.0, totals)
+        if not self.is_sparse:
+            out = self.matrix / safe[:, None]
+            if zero.any():
+                rows = np.nonzero(zero)[0]
+                out[rows] = 0.0
+                out[rows, self._nearest_targets(rows)] = 1.0
+            return out
+        matrix = self.matrix
+        counts = np.diff(matrix.indptr)
+        data = matrix.data / np.repeat(safe, counts)
+        if zero.any():
+            rows = np.nonzero(zero)[0]
+            row_of = np.repeat(np.arange(self.shape[0]), counts)
+            data = np.where(zero[row_of], 0.0, data)
+            base = _sparse.csr_array((data, matrix.indices, matrix.indptr),
+                                     shape=matrix.shape)
+            base.eliminate_zeros()
+            point = _sparse.csr_array(
+                (np.ones(rows.size), (rows, self._nearest_targets(rows))),
+                shape=matrix.shape)
+            return (base + point).tocsr()
+        return _sparse.csr_array((data, matrix.indices, matrix.indptr),
+                                 shape=matrix.shape)
+
+    def sample_conditional(self, rows, uniforms) -> np.ndarray:
+        """Inverse-CDF draw of one target state per ``(row, uniform)``
+        pair — the sampler of Algorithm 2 Eq. 15, storage-agnostic."""
+        return sample_conditional_rows(self.conditional_matrix(), rows,
+                                       uniforms)
 
     def barycentric_projection(self) -> np.ndarray:
         """Conditional-mean map ``T(x_i) = E_π[Y | X = x_i]``.
 
         This is the deterministic "barycentric" image used by geometric
         repair variants; rows with zero mass map to their nearest target.
+        CSR plans compute this as a sparse-dense product without
+        densifying.
         """
         conditionals = self.conditional_matrix()
-        return conditionals @ self.target_support
+        return np.asarray(conditionals @ self.target_support)
 
     def expected_cost(self, cost_matrix: np.ndarray) -> float:
         """Expected transport cost ``<C, π>`` under an explicit cost."""
@@ -143,12 +347,18 @@ class TransportPlan:
         if cost.shape != self.matrix.shape:
             raise ValidationError(
                 f"cost shape {cost.shape} != plan shape {self.matrix.shape}")
-        return float(np.sum(cost * self.matrix))
+        return _inner_product(self.matrix, cost)
 
     def transpose(self) -> "TransportPlan":
-        """The reverse plan (target -> source)."""
+        """The reverse plan (target -> source); storage mode is kept."""
         return TransportPlan(self.matrix.T, self.target_support,
                              self.source_support, self.cost)
+
+    def _nearest_targets(self, rows: np.ndarray) -> np.ndarray:
+        """Index of the nearest target point for each given source row."""
+        diffs = (self.source_support[rows][:, None, :]
+                 - self.target_support[None, :, :])
+        return np.linalg.norm(diffs, axis=2).argmin(axis=1)
 
 
 def _as_support(support, expected_len: int, name: str) -> np.ndarray:

@@ -18,9 +18,12 @@ from dataclasses import dataclass, field, replace
 
 import numpy as np
 
+from scipy import sparse as _sparse
+
 from .._validation import as_probability_vector
 from ..exceptions import ValidationError
 from .coupling import TransportPlan
+from .coupling import _inner_product as _plan_inner_product
 from .cost import cost_matrix as _build_cost_matrix
 
 __all__ = ["OTProblem", "OTResult", "result_from_matrix"]
@@ -237,7 +240,14 @@ class OTResult:
 
     @property
     def matrix(self) -> np.ndarray:
-        """The raw ``(n, m)`` coupling matrix."""
+        """The raw ``(n, m)`` coupling matrix.
+
+        Dense :class:`numpy.ndarray` for densely stored plans; a CSR
+        sparse array when the solver kept the plan sparse (e.g. the
+        screened hybrid below :data:`~repro.ot.coupling.
+        SPARSE_DENSITY_THRESHOLD` density).  ``result.plan.toarray()``
+        densifies on demand.
+        """
         return self.plan.matrix
 
     @property
@@ -272,11 +282,15 @@ def result_from_matrix(problem: OTProblem, matrix: np.ndarray, *,
 
     The single result-construction path shared by the built-in solvers
     (via :func:`repro.ot.solve`) and the registry's coercion of ad-hoc
-    solver returns.  ``value`` defaults to ``<C, matrix>``;
+    solver returns.  ``matrix`` may be dense or scipy-sparse (kept as
+    CSR, never densified).  ``value`` defaults to ``<C, matrix>``;
     ``converged=None`` derives the flag from the marginal residuals
     (``<= 1e-6``).
     """
-    matrix = np.asarray(matrix, dtype=float)
+    if _sparse.issparse(matrix):
+        matrix = _sparse.csr_array(matrix)
+    else:
+        matrix = np.asarray(matrix, dtype=float)
     if matrix.shape != problem.shape:
         raise ValidationError(
             f"plan matrix has shape {matrix.shape}, problem expects "
@@ -287,11 +301,11 @@ def result_from_matrix(problem: OTProblem, matrix: np.ndarray, *,
     target = (problem.target_support if problem.target_support is not None
               else np.arange(m, dtype=float))
     if value is None or not np.isfinite(value):
-        value = float(np.sum(problem.cost_matrix() * matrix))
+        value = _plan_inner_product(matrix, problem.cost_matrix())
     plan = TransportPlan(matrix, source, target, float(value))
-    row_err = float(np.abs(matrix.sum(axis=1)
+    row_err = float(np.abs(plan.source_weights
                            - problem.source_weights).max())
-    col_err = float(np.abs(matrix.sum(axis=0)
+    col_err = float(np.abs(plan.target_weights
                            - problem.target_weights).max())
     if converged is None:
         converged = max(row_err, col_err) <= 1e-6

@@ -22,6 +22,7 @@ from collections.abc import Callable
 from dataclasses import dataclass, field
 
 import numpy as np
+from scipy import sparse
 
 from ..exceptions import ValidationError
 from .coupling import TransportPlan
@@ -187,6 +188,12 @@ def coerce_result(outcome, problem):
     if isinstance(outcome, TransportPlan):
         return result_from_matrix(problem, outcome.matrix,
                                   value=outcome.cost)
+    if sparse.issparse(outcome):
+        if outcome.shape != problem.shape:
+            raise ValidationError(
+                f"solver returned shape {outcome.shape}, expected a plan "
+                f"of shape {problem.shape} (or an OTResult/TransportPlan)")
+        return result_from_matrix(problem, outcome)
     matrix = np.asarray(outcome, dtype=float)
     if matrix.ndim != 2 or matrix.shape != problem.shape:
         raise ValidationError(

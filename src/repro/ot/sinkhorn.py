@@ -47,12 +47,17 @@ class SinkhornResult:
         Final max-norm marginal violation.
     converged:
         True when ``residual <= tol`` within the budget.
+    effective_epsilon:
+        The regularisation strength actually applied to the *unscaled*
+        cost (``epsilon`` times any internal cost rescaling); ``None``
+        when the solver did not record it.
     """
 
     plan: np.ndarray
     iterations: int
     residual: float
     converged: bool
+    effective_epsilon: float | None = None
 
 
 def sinkhorn(cost: np.ndarray, source_weights, target_weights, *,
@@ -82,9 +87,12 @@ def sinkhorn(cost: np.ndarray, source_weights, target_weights, *,
         raise ValidationError(f"epsilon must be positive, got {epsilon}")
     max_iter = check_positive_int(max_iter, name="max_iter")
 
-    # Rescale the cost so the kernel conditioning is resolution-independent.
+    # Rescale the cost so the kernel conditioning is resolution-independent
+    # (the strength actually applied to the unscaled cost is reported as
+    # ``effective_epsilon``).
     scale = max(float(np.max(cost)), 1e-300)
-    kernel = np.exp(-cost / (epsilon * scale))
+    effective_epsilon = epsilon * scale
+    kernel = np.exp(-cost / effective_epsilon)
     u = np.ones_like(mu)
     v = np.ones_like(nu)
     residual = np.inf
@@ -102,16 +110,19 @@ def sinkhorn(cost: np.ndarray, source_weights, target_weights, *,
             plan = (u[:, None] * kernel) * v[None, :]
             residual = marginal_residual(plan, mu, nu)
             if residual <= tol:
-                return SinkhornResult(plan, iteration, residual, True)
+                return SinkhornResult(plan, iteration, residual, True,
+                                      effective_epsilon=effective_epsilon)
     plan = (u[:, None] * kernel) * v[None, :]
     residual = marginal_residual(plan, mu, nu)
     if residual <= tol:
-        return SinkhornResult(plan, max_iter, residual, True)
+        return SinkhornResult(plan, max_iter, residual, True,
+                              effective_epsilon=effective_epsilon)
     if raise_on_failure:
         raise ConvergenceError(
             f"Sinkhorn did not converge (residual {residual:.3e})",
             iterations=max_iter, residual=residual)
-    return SinkhornResult(plan, max_iter, residual, False)
+    return SinkhornResult(plan, max_iter, residual, False,
+                          effective_epsilon=effective_epsilon)
 
 
 def sinkhorn_log(cost: np.ndarray, source_weights, target_weights, *,
@@ -149,16 +160,19 @@ def sinkhorn_log(cost: np.ndarray, source_weights, target_weights, *,
             plan = np.exp((f[:, None] + g[None, :] - cost) / epsilon)
             residual = marginal_residual(plan, mu, nu)
             if residual <= tol:
-                return SinkhornResult(plan, iteration, residual, True)
+                return SinkhornResult(plan, iteration, residual, True,
+                                      effective_epsilon=epsilon)
     plan = np.exp((f[:, None] + g[None, :] - cost) / epsilon)
     residual = marginal_residual(plan, mu, nu)
     if residual <= tol:
-        return SinkhornResult(plan, max_iter, residual, True)
+        return SinkhornResult(plan, max_iter, residual, True,
+                              effective_epsilon=epsilon)
     if raise_on_failure:
         raise ConvergenceError(
             f"log-domain Sinkhorn did not converge (residual {residual:.3e})",
             iterations=max_iter, residual=residual)
-    return SinkhornResult(plan, max_iter, residual, False)
+    return SinkhornResult(plan, max_iter, residual, False,
+                          effective_epsilon=epsilon)
 
 
 def solve_sinkhorn(cost: np.ndarray, source_weights, target_weights,

@@ -38,6 +38,7 @@ import numpy as np
 from scipy import sparse
 
 from ..exceptions import ConvergenceError, ValidationError
+from .coupling import SPARSE_DENSITY_THRESHOLD
 from .lp import _linprog_with_presolve_retry, _lp_matrix
 from .network_simplex import _transport_simplex_core
 from .onedim import north_west_corner
@@ -277,7 +278,8 @@ def _solve_sinkhorn_log(problem: OTProblem, *, epsilon: float = 1e-2,
     "screened",
     description="Sinkhorn-screened sparse hybrid: entropic solve prunes "
                 "the support to top-k per row/column, then an exact "
-                "restricted LP — the fast path for large supports")
+                "restricted LP returning a CSR-backed plan — the fast "
+                "path for large supports")
 def _solve_screened(problem: OTProblem, *, epsilon: float = 1e-2,
                     k: int | None = None, screen_max_iter: int = 2_000,
                     screen_tol: float = 1e-6) -> OTResult:
@@ -313,7 +315,14 @@ def _solve_screened(problem: OTProblem, *, epsilon: float = 1e-2,
     if problem.support_mask is not None:
         mask |= problem.support_mask
     mask |= north_west_corner(mu, nu) > 0.0
-    matrix, nit = _restricted_lp_matrix(cost, mu, nu, mask)
+    # The restricted LP's plan lives on a tiny support, so return it
+    # CSR-backed: downstream consumers (TransportPlan sampling, v2 plan
+    # archives) then stay O(nnz) instead of O(n*m).  Dense problems small
+    # enough for the plan to exceed the density threshold stay dense.
+    matrix, nit = _restricted_lp_matrix(cost, mu, nu, mask,
+                                        sparse_output=True)
+    if matrix.nnz / float(n * m) > SPARSE_DENSITY_THRESHOLD:
+        matrix = matrix.toarray()
     extras = {"epsilon": epsilon, "k": int(k),
               "support_size": int(mask.sum()),
               "support_density": float(mask.mean()),
@@ -354,9 +363,14 @@ def _solve_auto(problem: OTProblem, **opts) -> OTResult:
 
 def _restricted_lp_matrix(cost: np.ndarray, mu: np.ndarray, nu: np.ndarray,
                           mask: np.ndarray, *,
-                          presolve_retry: bool = True
-                          ) -> tuple[np.ndarray, int]:
-    """Exact LP over only the ``mask``-allowed coupling entries."""
+                          presolve_retry: bool = True,
+                          sparse_output: bool = False):
+    """Exact LP over only the ``mask``-allowed coupling entries.
+
+    With ``sparse_output`` the plan comes back as a CSR sparse array
+    holding just the optimal-basis entries (zeros eliminated) — the plan
+    is never materialised densely.
+    """
     rows, cols = np.nonzero(mask)
     nnz = rows.size
     data = np.ones(nnz)
@@ -372,6 +386,12 @@ def _restricted_lp_matrix(cost: np.ndarray, mu: np.ndarray, nu: np.ndarray,
     result = _linprog_with_presolve_retry(
         cost[rows, cols], a_eq, b_eq, what="the restricted transport LP",
         presolve_retry=presolve_retry)
+    values = np.clip(result.x, 0.0, None)
+    nit = int(getattr(result, "nit", 0) or 0)
+    if sparse_output:
+        matrix = sparse.csr_array((values, (rows, cols)), shape=(n, m))
+        matrix.eliminate_zeros()
+        return matrix, nit
     matrix = np.zeros((n, m))
-    matrix[rows, cols] = np.clip(result.x, 0.0, None)
-    return matrix, int(getattr(result, "nit", 0) or 0)
+    matrix[rows, cols] = values
+    return matrix, nit

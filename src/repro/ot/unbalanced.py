@@ -12,6 +12,24 @@ with KL penalties:
 The Sinkhorn iteration acquires exponents ``λ/(λ+ε)``; as ``λ → ∞`` the
 balanced solution is recovered.  Exposed as a robustness tool for the
 repair designer (an ablation target, not the paper's default path).
+
+Cost scaling and the objective actually solved
+----------------------------------------------
+
+For kernel conditioning the Gibbs kernel is built on a *rescaled* cost
+``C/σ`` (``σ = max C`` under the default ``scale_cost="max"``), while the
+iteration exponent keeps the caller's raw ``λ/(λ+ε)``.  Unfolding the
+fixed point, the problem actually solved **in terms of the original
+cost** is
+
+    min_π <C, π> + (σ·ε) KL(π | K) + (σ·λ) KL(π1 | µ) + (σ·λ) KL(πᵀ1 | ν)
+
+i.e. both the regularisation strength and the marginal penalty are the
+caller's values times ``σ``, and their *ratio* — which controls how much
+marginal mismatch the plan may shed — is exactly the requested ``λ : ε``.
+Historically this rescaling was silent; it is now explicit via
+``scale_cost``, and the applied strength is reported as
+``result.effective_epsilon``.
 """
 
 from __future__ import annotations
@@ -28,6 +46,7 @@ __all__ = ["sinkhorn_unbalanced"]
 def sinkhorn_unbalanced(cost: np.ndarray, source_weights, target_weights,
                         *, epsilon: float = 1e-2, marginal_relaxation: float = 1.0,
                         max_iter: int = 10_000, tol: float = 1e-9,
+                        scale_cost="max",
                         raise_on_failure: bool = True) -> SinkhornResult:
     """KL-relaxed Sinkhorn (unbalanced OT).
 
@@ -41,6 +60,15 @@ def sinkhorn_unbalanced(cost: np.ndarray, source_weights, target_weights,
         Convergence threshold on the max change of the scaling vectors
         between sweeps (the marginals are *not* matched exactly by
         design, so the balanced residual is not the right criterion).
+    scale_cost:
+        Divisor ``σ`` applied to the cost before the Gibbs kernel is
+        built: ``"max"`` (default — the historical behaviour, making the
+        kernel conditioning resolution-independent), ``"none"`` / ``None``
+        / ``False`` (use the cost as given, so ``epsilon`` is applied
+        verbatim), or a positive number (explicit divisor).  See the
+        module docstring for the objective solved under scaling; the
+        strength actually applied to the unscaled cost is returned as
+        ``result.effective_epsilon = epsilon * σ``.
     """
     cost = np.asarray(cost, dtype=float)
     if cost.ndim != 2:
@@ -60,9 +88,10 @@ def sinkhorn_unbalanced(cost: np.ndarray, source_weights, target_weights,
             f"marginal_relaxation must be positive, got "
             f"{marginal_relaxation}")
     max_iter = check_positive_int(max_iter, name="max_iter")
+    scale = _resolve_cost_scale(scale_cost, cost)
 
-    scale = max(float(np.max(cost)), 1e-300)
-    kernel = np.exp(-cost / (epsilon * scale))
+    effective_epsilon = epsilon * scale
+    kernel = np.exp(-cost / effective_epsilon)
     exponent = marginal_relaxation / (marginal_relaxation + epsilon)
 
     u = np.ones_like(mu)
@@ -77,10 +106,29 @@ def sinkhorn_unbalanced(cost: np.ndarray, source_weights, target_weights,
         u, v = new_u, new_v
         if change <= tol:
             plan = (u[:, None] * kernel) * v[None, :]
-            return SinkhornResult(plan, iteration, change, True)
+            return SinkhornResult(plan, iteration, change, True,
+                                  effective_epsilon=effective_epsilon)
     plan = (u[:, None] * kernel) * v[None, :]
     if raise_on_failure:
         raise ConvergenceError(
             "unbalanced Sinkhorn did not converge",
             iterations=max_iter, residual=change)
-    return SinkhornResult(plan, max_iter, change, False)
+    return SinkhornResult(plan, max_iter, change, False,
+                          effective_epsilon=effective_epsilon)
+
+
+def _resolve_cost_scale(scale_cost, cost: np.ndarray) -> float:
+    """The cost divisor ``σ`` selected by the ``scale_cost`` option."""
+    if scale_cost is None or scale_cost is False or scale_cost == "none":
+        return 1.0
+    if scale_cost == "max":
+        return max(float(np.max(cost)), 1e-300)
+    if isinstance(scale_cost, (int, float)) and not isinstance(
+            scale_cost, bool):
+        if scale_cost <= 0.0:
+            raise ValidationError(
+                f"scale_cost must be positive, got {scale_cost}")
+        return float(scale_cost)
+    raise ValidationError(
+        f"unknown scale_cost {scale_cost!r}; expected 'max', 'none', "
+        "None, False, or a positive number")

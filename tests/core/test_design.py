@@ -186,3 +186,105 @@ class TestRegistryThreading:
         assert set(diagnostics) == set(plan.feature_plans)
         for cell_records in diagnostics.values():
             assert set(cell_records) == {0, 1}
+
+
+def _strip_wall_time(record: dict) -> dict:
+    return {k: v for k, v in record.items() if k != "wall_time"}
+
+
+class TestParallelDesign:
+    """`n_jobs` fans the independent (u, k) cells across processes; the
+    result must be indistinguishable from the serial loop."""
+
+    @pytest.mark.parametrize("solver", ["exact", "screened"])
+    def test_parallel_matches_serial_exactly(self, paper_split, solver):
+        serial = design_repair(paper_split.research, 20, solver=solver)
+        parallel = design_repair(paper_split.research, 20, solver=solver,
+                                 n_jobs=2)
+        assert set(parallel.feature_plans) == set(serial.feature_plans)
+        for key, expected in serial.feature_plans.items():
+            got = parallel.feature_plans[key]
+            np.testing.assert_array_equal(got.grid.nodes,
+                                          expected.grid.nodes)
+            np.testing.assert_array_equal(got.barycenter,
+                                          expected.barycenter)
+            for s in (0, 1):
+                np.testing.assert_array_equal(got.marginals[s],
+                                              expected.marginals[s])
+                assert got.transports[s].is_sparse == \
+                    expected.transports[s].is_sparse
+                np.testing.assert_array_equal(
+                    got.transports[s].toarray(),
+                    expected.transports[s].toarray())
+                # Per-cell diagnostics survive the fan-out; only the
+                # wall clock is nondeterministic.
+                assert _strip_wall_time(got.diagnostics[s]) == \
+                    _strip_wall_time(expected.diagnostics[s])
+
+    def test_parallel_repairs_identically(self, paper_split):
+        serial = design_repair(paper_split.research, 15)
+        parallel = design_repair(paper_split.research, 15, n_jobs=2)
+        from repro.core.repair import repair_dataset
+        a = repair_dataset(paper_split.archive, serial,
+                           rng=np.random.default_rng(5))
+        b = repair_dataset(paper_split.archive, parallel,
+                           rng=np.random.default_rng(5))
+        np.testing.assert_allclose(a.features, b.features)
+
+    def test_n_jobs_recorded_in_metadata(self, paper_split):
+        plan = design_repair(paper_split.research, 15, n_jobs=2)
+        assert plan.metadata["n_jobs"] == 2
+        assert design_repair(paper_split.research,
+                             15).metadata["n_jobs"] == 1
+
+    def test_invalid_n_jobs_rejected(self, paper_split):
+        with pytest.raises(ValidationError, match="n_jobs"):
+            design_repair(paper_split.research, 15, n_jobs=0)
+
+
+class TestSparsePlanStorage:
+    def test_auto_sparsifies_low_density_plans(self, samples_by_s):
+        plan = design_feature_plan(samples_by_s, 40, sparse_plans="auto")
+        for s in (0, 1):
+            # The exact monotone plan has O(n_Q) support.
+            assert plan.transports[s].is_sparse
+
+    def test_forced_sparse_and_default_dense(self, samples_by_s):
+        default = design_feature_plan(samples_by_s, 20)
+        forced = design_feature_plan(samples_by_s, 20, sparse_plans=True)
+        for s in (0, 1):
+            assert not default.transports[s].is_sparse
+            assert forced.transports[s].is_sparse
+            np.testing.assert_array_equal(forced.transports[s].toarray(),
+                                          default.transports[s].matrix)
+
+    def test_sparse_design_repairs_like_dense(self, paper_split):
+        from repro.core.repair import repair_dataset
+        dense = design_repair(paper_split.research, 20)
+        sparse = design_repair(paper_split.research, 20,
+                               sparse_plans=True)
+        a = repair_dataset(paper_split.archive, dense,
+                           rng=np.random.default_rng(9))
+        b = repair_dataset(paper_split.archive, sparse,
+                           rng=np.random.default_rng(9))
+        np.testing.assert_allclose(a.features, b.features)
+
+    def test_storage_counted_in_metadata(self, paper_split):
+        plan = design_repair(paper_split.research, 15, sparse_plans=True)
+        assert plan.metadata["sparse_plans"] is True
+        assert plan.metadata["n_sparse_transports"] == \
+            2 * len(plan.feature_plans)
+
+    def test_invalid_mode_rejected(self, samples_by_s):
+        with pytest.raises(ValidationError, match="sparse_plans"):
+            design_feature_plan(samples_by_s, 15, sparse_plans="always")
+        with pytest.raises(ValidationError, match="sparse_plans"):
+            design_feature_plan(samples_by_s, 15, sparse_plans=2)
+
+    def test_bool_like_modes_canonicalised(self, samples_by_s):
+        # 1 / np.True_ must behave exactly like True, not silently no-op.
+        for spec in (1, np.True_):
+            plan = design_feature_plan(samples_by_s, 15, sparse_plans=spec)
+            assert all(plan.transports[s].is_sparse for s in (0, 1))
+        plan = design_feature_plan(samples_by_s, 15, sparse_plans=np.False_)
+        assert not any(plan.transports[s].is_sparse for s in (0, 1))

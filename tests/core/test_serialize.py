@@ -2,13 +2,37 @@
 
 from __future__ import annotations
 
+import json
+
 import numpy as np
 import pytest
 
 from repro.core.design import design_repair
+from repro.core.plan import FeaturePlan, RepairPlan
 from repro.core.repair import repair_dataset
 from repro.core.serialize import FORMAT_VERSION, load_plan, save_plan
+from repro.density.grid import InterpolationGrid
 from repro.exceptions import DataError, ValidationError
+from repro.ot.coupling import TransportPlan
+
+
+def _feature_plan(nodes, s_values, *, sparse=False, rng=None):
+    """A hand-built FeaturePlan whose transports are keyed by ``s_values``."""
+    generator = np.random.default_rng(0 if rng is None else rng)
+    n = nodes.size
+    grid = InterpolationGrid(nodes)
+    marginals, transports = {}, {}
+    for s in s_values:
+        pmf = generator.dirichlet(np.ones(n))
+        matrix = np.diag(pmf)  # identity coupling: pmf -> pmf
+        plan = TransportPlan(matrix, nodes, nodes, 0.0)
+        if sparse:
+            plan = plan.to_sparse()
+        marginals[s] = pmf
+        transports[s] = plan
+    barycenter = np.full(n, 1.0 / n)
+    return FeaturePlan(grid=grid, marginals=marginals,
+                       barycenter=barycenter, transports=transports)
 
 
 @pytest.fixture
@@ -76,14 +100,21 @@ class TestErrors:
         with pytest.raises(DataError, match="missing header"):
             load_plan(path)
 
-    def test_wrong_version_rejected(self, fitted_plan, tmp_path,
-                                    monkeypatch):
-        import repro.core.serialize as serialize
+    @pytest.mark.parametrize("version", [FORMAT_VERSION + 1, 0, "2"])
+    def test_unreadable_version_rejected(self, fitted_plan, tmp_path,
+                                         version):
+        # Future versions (and junk) are rejected; only the readable
+        # range 1..FORMAT_VERSION loads.
         written = save_plan(fitted_plan, tmp_path / "plan.npz")
-        monkeypatch.setattr(serialize, "FORMAT_VERSION",
-                            FORMAT_VERSION + 1)
+        with np.load(written) as archive:
+            arrays = {key: archive[key] for key in archive.files}
+        header = json.loads(bytes(arrays["__header__"]).decode("utf-8"))
+        header["format_version"] = version
+        arrays["__header__"] = np.frombuffer(
+            json.dumps(header).encode("utf-8"), dtype=np.uint8)
+        np.savez(written, **arrays)
         with pytest.raises(DataError, match="version"):
-            serialize.load_plan(written)
+            load_plan(written)
 
     def test_save_rejects_non_plan(self, tmp_path):
         with pytest.raises(ValidationError, match="RepairPlan"):
@@ -96,6 +127,190 @@ class TestErrors:
         written.write_bytes(data[: len(data) // 3])
         with pytest.raises((DataError, Exception)):
             load_plan(written)
+
+
+class TestNonBinaryLabels:
+    """``s`` encodings other than {0, 1} must round-trip (the v1 loader
+    hardcoded ``for s in (0, 1)`` and rejected them as corrupt)."""
+
+    @pytest.mark.parametrize("s_values", [(1, 2), (-1, 1), (0, 1, 2)])
+    def test_round_trip(self, tmp_path, s_values):
+        nodes = np.linspace(0.0, 1.0, 12)
+        plan = RepairPlan(
+            feature_plans={(0, 0): _feature_plan(nodes, s_values)},
+            n_features=1)
+        written = save_plan(plan, tmp_path / "plan.npz")
+        loaded = load_plan(written)
+        restored = loaded.feature_plans[(0, 0)]
+        assert restored.s_values == tuple(sorted(s_values))
+        for s in s_values:
+            np.testing.assert_array_equal(
+                restored.transports[s].matrix,
+                plan.feature_plans[(0, 0)].transports[s].matrix)
+            np.testing.assert_array_equal(
+                restored.marginals[s],
+                plan.feature_plans[(0, 0)].marginals[s])
+
+    def test_bool_labels_round_trip_as_ints(self, tmp_path):
+        # Bool-keyed cells must save under the same canonical int keys
+        # the header advertises (True == 1 keeps dict lookups working).
+        nodes = np.linspace(0.0, 1.0, 8)
+        plan = RepairPlan(
+            feature_plans={(0, 0): _feature_plan(nodes, (False, True))},
+            n_features=1)
+        loaded = load_plan(save_plan(plan, tmp_path / "plan.npz"))
+        restored = loaded.feature_plans[(0, 0)]
+        assert restored.s_values == (0, 1)
+        for s in (False, True):
+            np.testing.assert_array_equal(
+                restored.transports[s].toarray(),
+                plan.feature_plans[(0, 0)].transports[s].toarray())
+
+    def test_non_integer_labels_rejected_at_save(self, tmp_path):
+        nodes = np.linspace(0.0, 1.0, 8)
+        plan = RepairPlan(
+            feature_plans={(0, 0): _feature_plan(nodes, ("a", "b"))},
+            n_features=1)
+        with pytest.raises(ValidationError, match="integer"):
+            save_plan(plan, tmp_path / "plan.npz")
+
+
+class TestSparseStorage:
+    def test_sparse_round_trip_preserves_storage_and_values(self,
+                                                            tmp_path):
+        nodes = np.linspace(-1.0, 1.0, 20)
+        original = _feature_plan(nodes, (0, 1), sparse=True)
+        plan = RepairPlan(feature_plans={(0, 0): original}, n_features=1)
+        written = save_plan(plan, tmp_path / "plan.npz")
+        loaded = load_plan(written)
+        for s in (0, 1):
+            restored = loaded.feature_plans[(0, 0)].transports[s]
+            assert restored.is_sparse
+            np.testing.assert_array_equal(
+                restored.toarray(), original.transports[s].toarray())
+            assert restored.cost == original.transports[s].cost
+
+    def test_mixed_storage_archive(self, tmp_path):
+        # One sparse and one dense transport in the same cell.
+        nodes = np.linspace(0.0, 1.0, 10)
+        generator = np.random.default_rng(7)
+        pmf0 = generator.dirichlet(np.ones(10))
+        pmf1 = generator.dirichlet(np.ones(10))
+        transports = {
+            0: TransportPlan(np.diag(pmf0), nodes, nodes, 0.0).to_sparse(),
+            1: TransportPlan(np.outer(pmf1, pmf1), nodes, nodes, 0.5),
+        }
+        cell = FeaturePlan(grid=InterpolationGrid(nodes),
+                           marginals={0: pmf0, 1: pmf1},
+                           barycenter=np.full(10, 0.1),
+                           transports=transports)
+        plan = RepairPlan(feature_plans={(0, 0): cell}, n_features=1)
+        loaded = load_plan(save_plan(plan, tmp_path / "plan.npz"))
+        restored = loaded.feature_plans[(0, 0)]
+        assert restored.transports[0].is_sparse
+        assert not restored.transports[1].is_sparse
+        for s in (0, 1):
+            np.testing.assert_array_equal(restored.transports[s].toarray(),
+                                          transports[s].toarray())
+
+    def test_screened_design_round_trips_sparse(self, paper_split,
+                                                tmp_path):
+        plan = design_repair(paper_split.research, 40, solver="screened")
+        assert any(fp.transports[s].is_sparse
+                   for fp in plan.feature_plans.values()
+                   for s in fp.s_values)
+        loaded = load_plan(save_plan(plan, tmp_path / "plan.npz"))
+        for key, original in plan.feature_plans.items():
+            for s in original.s_values:
+                restored = loaded.feature_plans[key].transports[s]
+                assert restored.is_sparse == \
+                    original.transports[s].is_sparse
+                np.testing.assert_array_equal(
+                    restored.toarray(), original.transports[s].toarray())
+        a = repair_dataset(paper_split.archive, plan,
+                           rng=np.random.default_rng(3))
+        b = repair_dataset(paper_split.archive, loaded,
+                           rng=np.random.default_rng(3))
+        np.testing.assert_allclose(a.features, b.features)
+
+    def test_compressed_archive_loads_identically(self, fitted_plan,
+                                                  tmp_path):
+        plain = save_plan(fitted_plan, tmp_path / "plain.npz")
+        packed = save_plan(fitted_plan, tmp_path / "packed.npz",
+                           compress=True)
+        a, b = load_plan(plain), load_plan(packed)
+        for key in fitted_plan.feature_plans:
+            for s in (0, 1):
+                np.testing.assert_array_equal(
+                    a.feature_plans[key].transports[s].toarray(),
+                    b.feature_plans[key].transports[s].toarray())
+
+
+class TestV1BackwardCompat:
+    """Archives written by the original dense-only v1 code still load."""
+
+    def _write_v1(self, plan, path, *, s_values=(0, 1)):
+        """Replicate the v1 writer byte layout: dense plans, compressed
+        npz, no s_values header field."""
+        header = {
+            "format_version": 1,
+            "n_features": plan.n_features,
+            "t": plan.t,
+            "metadata": {str(k): v for k, v in plan.metadata.items()
+                         if isinstance(v, (int, float, str, bool))},
+            "cells": [[int(u), int(k)]
+                      for (u, k) in sorted(plan.feature_plans)],
+        }
+        arrays = {"__header__": np.frombuffer(
+            json.dumps(header).encode("utf-8"), dtype=np.uint8)}
+        for (u, k), feature_plan in plan.feature_plans.items():
+            prefix = f"cell_{u}_{k}"
+            arrays[f"{prefix}_nodes"] = feature_plan.grid.nodes
+            arrays[f"{prefix}_barycenter"] = feature_plan.barycenter
+            for s in s_values:
+                arrays[f"{prefix}_marginal_{s}"] = feature_plan.marginals[s]
+                arrays[f"{prefix}_plan_{s}"] = \
+                    feature_plan.transports[s].toarray()
+                arrays[f"{prefix}_cost_{s}"] = np.array(
+                    feature_plan.transports[s].cost)
+        np.savez_compressed(path, **arrays)
+        return path
+
+    def test_v1_archive_loads(self, fitted_plan, tmp_path):
+        path = self._write_v1(fitted_plan, tmp_path / "v1.npz")
+        loaded = load_plan(path)
+        assert set(loaded.feature_plans) == set(fitted_plan.feature_plans)
+        for key, original in fitted_plan.feature_plans.items():
+            restored = loaded.feature_plans[key]
+            for s in (0, 1):
+                np.testing.assert_array_equal(
+                    restored.transports[s].toarray(),
+                    original.transports[s].toarray())
+
+    def test_v1_archive_with_nonbinary_labels_loads(self, tmp_path):
+        # The v1 *loader* hardcoded s in (0, 1); the v1 writer happily
+        # wrote other labels.  Those archives must now load via key-name
+        # recovery instead of raising "corrupt archive".
+        nodes = np.linspace(0.0, 1.0, 9)
+        cell = _feature_plan(nodes, (1, 2))
+        plan = RepairPlan(feature_plans={(0, 0): cell}, n_features=1)
+        path = self._write_v1(plan, tmp_path / "v1.npz", s_values=(1, 2))
+        loaded = load_plan(path)
+        restored = loaded.feature_plans[(0, 0)]
+        assert restored.s_values == (1, 2)
+        for s in (1, 2):
+            np.testing.assert_array_equal(restored.transports[s].toarray(),
+                                          cell.transports[s].toarray())
+
+    def test_v1_repairs_identically_after_upgrade(self, fitted_plan,
+                                                  paper_split, tmp_path):
+        path = self._write_v1(fitted_plan, tmp_path / "v1.npz")
+        loaded = load_plan(path)
+        a = repair_dataset(paper_split.archive, fitted_plan,
+                           rng=np.random.default_rng(11))
+        b = repair_dataset(paper_split.archive, loaded,
+                           rng=np.random.default_rng(11))
+        np.testing.assert_allclose(a.features, b.features)
 
 
 class TestDiagnosticsPersistence:

@@ -4,15 +4,29 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
+from scipy import sparse
 
 from repro.exceptions import ValidationError
-from repro.ot.coupling import TransportPlan, is_coupling, marginal_residual
+from repro.ot.coupling import (SPARSE_DENSITY_THRESHOLD, TransportPlan,
+                               is_coupling, marginal_residual,
+                               sample_conditional_rows)
 
 
 @pytest.fixture
 def simple_plan():
     matrix = np.array([[0.2, 0.1], [0.0, 0.7]])
     return TransportPlan(matrix, [0.0, 1.0], [0.0, 1.0])
+
+
+@pytest.fixture
+def banded_matrix(rng):
+    """A 30x30 near-monotone plan with ~3 entries per row."""
+    n = 30
+    matrix = np.zeros((n, n))
+    for i in range(n):
+        cols = np.clip(np.arange(i - 1, i + 2), 0, n - 1)
+        matrix[i, cols] = rng.random(cols.size) + 0.05
+    return matrix / matrix.sum()
 
 
 class TestConstruction:
@@ -89,6 +103,142 @@ class TestOperations:
         np.testing.assert_allclose(reverse.source_weights,
                                    simple_plan.target_weights)
         np.testing.assert_allclose(reverse.matrix, simple_plan.matrix.T)
+
+
+class TestSparseStorage:
+    """The CSR-backed mode must agree operation-for-operation with dense."""
+
+    @pytest.fixture
+    def pair(self, banded_matrix):
+        nodes = np.linspace(0.0, 1.0, banded_matrix.shape[0])
+        dense = TransportPlan(banded_matrix, nodes, nodes, 0.25)
+        return dense, dense.to_sparse()
+
+    def test_storage_flags(self, pair):
+        dense, sparse_plan = pair
+        assert not dense.is_sparse and sparse_plan.is_sparse
+        assert sparse_plan.nnz == dense.nnz
+        assert sparse_plan.density == pytest.approx(dense.density)
+        assert sparse_plan.density < SPARSE_DENSITY_THRESHOLD
+        assert not sparse_plan.to_dense().is_sparse
+        np.testing.assert_array_equal(sparse_plan.toarray(), dense.matrix)
+
+    def test_from_sparse_triplet(self, pair):
+        dense, sparse_plan = pair
+        m = sparse_plan.matrix
+        rebuilt = TransportPlan.from_sparse(
+            (m.data, m.indices, m.indptr), sparse_plan.source_support,
+            sparse_plan.target_support, 0.25, shape=m.shape)
+        assert rebuilt.is_sparse
+        np.testing.assert_array_equal(rebuilt.toarray(), dense.matrix)
+
+    def test_from_sparse_triplet_needs_shape(self, pair):
+        _, sparse_plan = pair
+        m = sparse_plan.matrix
+        with pytest.raises(ValidationError, match="shape"):
+            TransportPlan.from_sparse((m.data, m.indices, m.indptr),
+                                      sparse_plan.source_support,
+                                      sparse_plan.target_support)
+
+    def test_marginals_match(self, pair):
+        dense, sparse_plan = pair
+        np.testing.assert_allclose(sparse_plan.source_weights,
+                                   dense.source_weights)
+        np.testing.assert_allclose(sparse_plan.target_weights,
+                                   dense.target_weights)
+        sparse_plan.verify(dense.source_weights, dense.target_weights)
+
+    def test_conditionals_match_and_stay_sparse(self, pair):
+        dense, sparse_plan = pair
+        conditionals = sparse_plan.conditional_matrix()
+        assert sparse.issparse(conditionals)
+        np.testing.assert_allclose(np.asarray(conditionals.todense()),
+                                   dense.conditional_matrix(), atol=1e-15)
+        for i in (0, 7, 29):
+            np.testing.assert_allclose(sparse_plan.conditional_row(i),
+                                       dense.conditional_row(i))
+
+    def test_zero_row_fallback_matches(self, rng):
+        matrix = np.array([[0.0, 0.0, 0.0], [0.2, 0.3, 0.0],
+                           [0.0, 0.1, 0.4]])
+        nodes = np.array([0.0, 5.0, 10.0])
+        dense = TransportPlan(matrix, nodes, nodes)
+        sparse_plan = dense.to_sparse()
+        np.testing.assert_allclose(
+            np.asarray(sparse_plan.conditional_matrix().todense()),
+            dense.conditional_matrix())
+        # Row 0 is empty: both point-mass on the nearest target (node 0).
+        np.testing.assert_allclose(dense.conditional_matrix()[0],
+                                   [1.0, 0.0, 0.0])
+
+    def test_barycentric_projection_matches(self, pair):
+        dense, sparse_plan = pair
+        np.testing.assert_allclose(sparse_plan.barycentric_projection(),
+                                   dense.barycentric_projection(),
+                                   atol=1e-15)
+
+    def test_expected_cost_matches(self, pair, rng):
+        dense, sparse_plan = pair
+        cost = rng.random(dense.shape)
+        assert sparse_plan.expected_cost(cost) == pytest.approx(
+            dense.expected_cost(cost))
+
+    def test_transpose_keeps_sparsity(self, pair):
+        dense, sparse_plan = pair
+        reverse = sparse_plan.transpose()
+        assert reverse.is_sparse
+        np.testing.assert_array_equal(reverse.toarray(), dense.matrix.T)
+
+    def test_negative_sparse_entries_rejected(self):
+        matrix = sparse.csr_array(np.array([[-0.5, 0.5], [0.5, 0.5]]))
+        with pytest.raises(ValidationError, match="non-negative"):
+            TransportPlan(matrix, [0.0, 1.0], [0.0, 1.0])
+
+    def test_helpers_accept_sparse(self, pair):
+        dense, sparse_plan = pair
+        mu, nu = dense.source_weights, dense.target_weights
+        assert marginal_residual(sparse_plan.matrix, mu,
+                                 nu) == pytest.approx(0.0)
+        assert is_coupling(sparse_plan.matrix, mu, nu)
+        assert not is_coupling(sparse_plan.matrix, np.roll(mu, 1), nu)
+
+
+class TestSampleConditionalRows:
+    def test_sparse_matches_dense_draws(self, banded_matrix, rng):
+        nodes = np.linspace(0.0, 1.0, banded_matrix.shape[0])
+        dense = TransportPlan(banded_matrix, nodes, nodes)
+        sparse_plan = dense.to_sparse()
+        rows = rng.integers(0, 30, size=500)
+        draws = rng.random(500)
+        dense_states = sample_conditional_rows(
+            dense.conditional_matrix(), rows, draws)
+        sparse_states = sample_conditional_rows(
+            sparse_plan.conditional_matrix(), rows, draws)
+        np.testing.assert_array_equal(dense_states, sparse_states)
+        np.testing.assert_array_equal(
+            sparse_plan.sample_conditional(rows, draws), dense_states)
+
+    def test_extreme_draws_stay_in_row_support(self, banded_matrix):
+        nodes = np.linspace(0.0, 1.0, banded_matrix.shape[0])
+        conditionals = TransportPlan(banded_matrix, nodes,
+                                     nodes).to_sparse().conditional_matrix()
+        rows = np.arange(30)
+        lo_states = sample_conditional_rows(conditionals, rows,
+                                            np.full(30, 1e-12))
+        hi_states = sample_conditional_rows(conditionals, rows,
+                                            np.ones(30) - 1e-12)
+        dense_cond = np.asarray(conditionals.todense())
+        for r, state in zip(rows, lo_states):
+            assert dense_cond[r, state] > 0.0
+        for r, state in zip(rows, hi_states):
+            assert dense_cond[r, state] > 0.0
+
+    def test_empty_rows_rejected(self):
+        conditionals = sparse.csr_array(
+            np.array([[1.0, 0.0], [0.0, 0.0]]))
+        with pytest.raises(ValidationError, match="empty rows"):
+            sample_conditional_rows(conditionals, np.array([1]),
+                                    np.array([0.5]))
 
 
 class TestHelpers:

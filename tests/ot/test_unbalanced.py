@@ -75,6 +75,48 @@ class TestUnbalancedSinkhorn:
         with pytest.raises(ValidationError, match="incompatible"):
             sinkhorn_unbalanced(cost, mu[:-1], nu)
 
+    def test_effective_epsilon_recorded(self, problem):
+        cost, mu, nu = problem
+        result = sinkhorn_unbalanced(cost, mu, nu, epsilon=0.05)
+        assert result.effective_epsilon == pytest.approx(
+            0.05 * float(cost.max()))
+
+    def test_scale_cost_none_applies_epsilon_verbatim(self, problem):
+        cost, mu, nu = problem
+        result = sinkhorn_unbalanced(cost, mu, nu, epsilon=0.3,
+                                     scale_cost="none")
+        assert result.effective_epsilon == pytest.approx(0.3)
+
+    def test_explicit_scale_matches_default_when_equal_to_max(self,
+                                                              problem):
+        cost, mu, nu = problem
+        default = sinkhorn_unbalanced(cost, mu, nu, epsilon=0.05)
+        explicit = sinkhorn_unbalanced(cost, mu, nu, epsilon=0.05,
+                                       scale_cost=float(cost.max()))
+        np.testing.assert_allclose(explicit.plan, default.plan)
+        assert explicit.effective_epsilon == pytest.approx(
+            default.effective_epsilon)
+
+    def test_scale_cost_none_equals_prescaled_epsilon(self, problem):
+        # Disabling the rescale and passing sigma*epsilon yourself must
+        # build the same kernel; the exponent keeps the raw lambda:eps
+        # ratio, so compare via matching relaxation too.
+        cost, mu, nu = problem
+        sigma = float(cost.max())
+        scaled = sinkhorn_unbalanced(cost, mu, nu, epsilon=0.05,
+                                     marginal_relaxation=1.0)
+        manual = sinkhorn_unbalanced(cost / sigma, mu, nu, epsilon=0.05,
+                                     marginal_relaxation=1.0,
+                                     scale_cost="none")
+        np.testing.assert_allclose(scaled.plan, manual.plan, atol=1e-12)
+
+    def test_invalid_scale_cost_rejected(self, problem):
+        cost, mu, nu = problem
+        with pytest.raises(ValidationError, match="scale_cost"):
+            sinkhorn_unbalanced(cost, mu, nu, scale_cost="median")
+        with pytest.raises(ValidationError, match="scale_cost"):
+            sinkhorn_unbalanced(cost, mu, nu, scale_cost=-2.0)
+
     def test_budget_exhaustion(self, problem):
         cost, mu, nu = problem
         with pytest.raises(ConvergenceError):

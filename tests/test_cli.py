@@ -102,6 +102,42 @@ class TestCommands:
         output = capsys.readouterr().out
         assert "E total" in output
 
+    def test_design_sparse_parallel_flags(self, sample_csv, tmp_path,
+                                          capsys):
+        data_path, _ = sample_csv
+        plan_path = tmp_path / "plan.npz"
+        out_path = tmp_path / "repaired.csv"
+        assert main(["design", str(data_path), str(plan_path),
+                     "--n-states", "20", "--sparse-plans",
+                     "--n-jobs", "2"]) == 0
+        assert "sparse transports" in capsys.readouterr().out
+        from repro.core.serialize import load_plan
+        plan = load_plan(plan_path)
+        assert all(fp.transports[s].is_sparse
+                   for fp in plan.feature_plans.values()
+                   for s in fp.s_values)
+        assert plan.metadata["n_jobs"] == 2
+        assert main(["repair", str(plan_path), str(data_path),
+                     str(out_path), "--seed", "1"]) == 0
+        assert out_path.exists()
+
+    def test_design_compress_flag_loads_identically(self, sample_csv,
+                                                    tmp_path, capsys):
+        data_path, _ = sample_csv
+        plain, packed = tmp_path / "plain.npz", tmp_path / "packed.npz"
+        assert main(["design", str(data_path), str(plain),
+                     "--n-states", "15"]) == 0
+        assert main(["design", str(data_path), str(packed),
+                     "--n-states", "15", "--compress"]) == 0
+        capsys.readouterr()
+        from repro.core.serialize import load_plan
+        a, b = load_plan(plain), load_plan(packed)
+        for key in a.feature_plans:
+            for s in (0, 1):
+                np.testing.assert_array_equal(
+                    a.feature_plans[key].transports[s].toarray(),
+                    b.feature_plans[key].transports[s].toarray())
+
     def test_evaluate_reports_per_feature(self, sample_csv, capsys):
         data_path, _ = sample_csv
         assert main(["evaluate", str(data_path)]) == 0
