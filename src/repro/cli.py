@@ -123,8 +123,16 @@ def build_parser() -> argparse.ArgumentParser:
     design.add_argument("--t", type=float, default=0.5)
     design.add_argument("--solver", default="exact",
                         help="any registered OT solver name (see the "
-                             "'solvers' command); typos fail with the "
-                             "available names")
+                             "'solvers' command, e.g. exact, screened, "
+                             "multiscale); typos fail with the available "
+                             "names")
+    design.add_argument("--solver-opt", action="append", default=[],
+                        metavar="KEY=VALUE", dest="solver_opts",
+                        help="extra solver option, repeatable (e.g. "
+                             "--solver-opt coarsen=4 --solver-opt "
+                             "radius=2 for --solver multiscale); numeric "
+                             "values are auto-converted, options the "
+                             "solver does not accept are dropped")
     design.add_argument("--marginal-estimator", default="kde",
                         choices=("kde", "linear"))
     design.add_argument("--n-jobs", type=int, default=None,
@@ -200,13 +208,46 @@ def _run_solvers(args) -> int:
     return 0
 
 
+def _parse_solver_opts(pairs) -> dict:
+    """Parse repeated ``--solver-opt KEY=VALUE`` flags into a dict.
+
+    Values are converted to ``bool`` (``true``/``false``, case
+    insensitive), ``int`` or ``float`` when they parse as one (solver
+    signatures are numeric- and flag-heavy); everything else stays a
+    string (e.g. ``coarse_method=lp``).
+    """
+    opts = {}
+    for pair in pairs:
+        key, separator, raw = pair.partition("=")
+        key = key.strip()
+        if not key or not separator:
+            raise DataError(
+                f"--solver-opt expects KEY=VALUE, got {pair!r}")
+        raw = raw.strip()
+        value: object = raw
+        if raw.lower() in ("true", "false"):
+            value = raw.lower() == "true"
+        else:
+            try:
+                value = int(raw)
+            except ValueError:
+                try:
+                    value = float(raw)
+                except ValueError:
+                    pass
+        opts[key] = value
+    return opts
+
+
 def _run_design(args) -> int:
-    # Resolve eagerly so a typo fails before the CSV is even read, with
-    # the registry's list of available names.
+    # Resolve the solver and parse its options eagerly so a typo fails
+    # before the CSV is even read, with the registry's list of names.
     resolve_solver(args.solver)
+    solver_opts = _parse_solver_opts(args.solver_opts)
     research = read_csv_dataset(args.research_csv)
     repairer = DistributionalRepairer(
         n_states=args.n_states, t=args.t, solver=args.solver,
+        solver_opts=solver_opts,
         marginal_estimator=args.marginal_estimator, n_jobs=args.n_jobs,
         sparse_plans=args.sparse_plans)
     repairer.fit(research)

@@ -64,6 +64,7 @@ def design_feature_plan(samples_by_s: dict, n_states: int, *, t: float = 0.5,
                         bandwidth_method: str = "silverman",
                         padding: float = 0.0,
                         epsilon: float = 5e-3,
+                        solver_opts: dict | None = None,
                         sparse_plans=False) -> FeaturePlan:
     """Design the repair machinery for a single ``(u, k)`` cell.
 
@@ -96,6 +97,14 @@ def design_feature_plan(samples_by_s: dict, n_states: int, *, t: float = 0.5,
     epsilon:
         Entropic regularisation passed to the ``"sinkhorn"`` /
         ``"sinkhorn_log"`` / ``"screened"`` solvers; ignored otherwise.
+    solver_opts:
+        Extra keyword options offered to the plan solver alongside
+        ``epsilon`` (e.g. ``{"coarsen": 4, "radius": 2}`` for
+        ``"multiscale"``, ``{"k": 32}`` for ``"screened"``).  Options
+        the resolved solver's signature does not accept are dropped —
+        the same signature filtering that lets ``"auto"`` dispatch carry
+        entropic knobs safely (see
+        :func:`~repro.ot.registry.filter_opts`).
     sparse_plans:
         Plan-storage policy: ``False`` (default — keep whatever storage
         the solver produced; the screened hybrid already returns CSR),
@@ -145,7 +154,8 @@ def design_feature_plan(samples_by_s: dict, n_states: int, *, t: float = 0.5,
     target = barycenter_1d(grid.nodes, marginals[0], grid.nodes,
                            marginals[1], grid.nodes, t=t)
     results = {
-        s: _solve_plan(grid.nodes, marginals[s], target, resolved, epsilon)
+        s: _solve_plan(grid.nodes, marginals[s], target, resolved, epsilon,
+                       solver_opts)
         for s in (0, 1)
     }
     transports = {s: _select_storage(r.plan, sparse_plans)
@@ -161,6 +171,7 @@ def design_repair(research: FairnessDataset, n_states=50, *, t: float = 0.5,
                   marginal_estimator: str = "kde",
                   bandwidth_method: str = "silverman",
                   padding: float = 0.0, epsilon: float = 5e-3,
+                  solver_opts: dict | None = None,
                   n_jobs: int | None = None,
                   sparse_plans=False) -> RepairPlan:
     """Algorithm 1 over every ``(u, k)`` cell of the research data.
@@ -175,6 +186,10 @@ def design_repair(research: FairnessDataset, n_states=50, *, t: float = 0.5,
     solver:
         Any registry-resolvable solver spec (see
         :func:`design_feature_plan`).
+    solver_opts:
+        Extra solver keyword options, signature-filtered per solver (see
+        :func:`design_feature_plan`); must be picklable when combined
+        with ``n_jobs``.
     n_jobs:
         ``None`` or ``1`` designs the cells serially (default).  ``>= 2``
         fans the ``(u, k)`` cells across a process pool of that many
@@ -201,6 +216,7 @@ def design_repair(research: FairnessDataset, n_states=50, *, t: float = 0.5,
                    "marginal_estimator": marginal_estimator,
                    "bandwidth_method": bandwidth_method,
                    "padding": padding, "epsilon": epsilon,
+                   "solver_opts": dict(solver_opts or {}),
                    "sparse_plans": sparse_plans}
     jobs = []
     for u in research.u_values:
@@ -243,6 +259,7 @@ def design_repair(research: FairnessDataset, n_states=50, *, t: float = 0.5,
             epsilon_used = epsilon_used or "epsilon" in record
     metadata = {
         "solver": resolved.name,
+        "solver_opts": dict(solver_opts or {}),
         "marginal_estimator": marginal_estimator,
         "bandwidth_method": bandwidth_method,
         "padding": padding,
@@ -313,13 +330,15 @@ def _resolve_states(n_states, u: int, k: int) -> int:
 
 def _solve_plan(nodes: np.ndarray, marginal: np.ndarray,
                 target: np.ndarray, solver: Solver,
-                epsilon: float) -> OTResult:
+                epsilon: float, solver_opts: dict | None = None) -> OTResult:
     """Solve ``π*`` from an interpolated marginal to the barycentric target
     through the unified facade."""
     problem = OTProblem(source_weights=marginal, target_weights=target,
                         source_support=nodes, target_support=nodes, p=2)
     # Offer the design's tuning knobs to whichever solver runs —
     # signature filtering delivers epsilon/tol only to solvers (built-in
-    # or user-registered) that declare them or take **kwargs.
-    opts = filter_opts(solver, {"epsilon": epsilon, "tol": 1e-10})
+    # or user-registered) that declare them or take **kwargs.  Explicit
+    # solver_opts are offered last so they win over the defaults.
+    candidates = {"epsilon": epsilon, "tol": 1e-10, **(solver_opts or {})}
+    opts = filter_opts(solver, candidates)
     return solve(problem, method=solver, **opts)

@@ -154,6 +154,11 @@ class DistributionalRepairer:
         a callable ``fn(problem, **opts)``, or a
         :class:`~repro.ot.registry.Solver` instance.  Typos fail at
         construction time with the list of available solvers.
+    solver_opts:
+        Extra solver keyword options (e.g. ``{"coarsen": 4}`` for
+        ``"multiscale"``, ``{"k": 32}`` for ``"screened"``), offered to
+        the plan solver with signature filtering (see
+        :func:`~repro.core.design.design_repair`).
     rounding, output:
         Algorithm-2 randomisation controls (see
         :func:`repair_feature_values`).
@@ -175,6 +180,7 @@ class DistributionalRepairer:
                  marginal_estimator: str = "kde",
                  bandwidth_method: str = "silverman",
                  padding: float = 0.0, epsilon: float = 5e-3,
+                 solver_opts: dict | None = None,
                  rounding: str = "stochastic", output: str = "sample",
                  n_jobs: int | None = None, sparse_plans=False,
                  rng=None) -> None:
@@ -192,6 +198,7 @@ class DistributionalRepairer:
         self.bandwidth_method = bandwidth_method
         self.padding = padding
         self.epsilon = epsilon
+        self.solver_opts = dict(solver_opts or {})
         self.rounding = rounding
         self.output = output
         self.n_jobs = n_jobs
@@ -218,8 +225,8 @@ class DistributionalRepairer:
             research, self.n_states, t=self.t, solver=self.solver,
             marginal_estimator=self.marginal_estimator,
             bandwidth_method=self.bandwidth_method, padding=self.padding,
-            epsilon=self.epsilon, n_jobs=self.n_jobs,
-            sparse_plans=self.sparse_plans)
+            epsilon=self.epsilon, solver_opts=self.solver_opts,
+            n_jobs=self.n_jobs, sparse_plans=self.sparse_plans)
         return self
 
     def transform(self, dataset: FairnessDataset, *,

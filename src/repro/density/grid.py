@@ -40,7 +40,21 @@ def uniform_grid(samples, n_states: int, *, padding: float = 0.0) -> np.ndarray:
     span = hi - lo
     lo -= padding * span
     hi += padding * span
-    return np.linspace(lo, hi, n_states)
+    nodes = np.linspace(lo, hi, n_states)
+    if np.any(np.diff(nodes) <= 0):
+        # The span is below what n_states nodes can resolve at this
+        # float magnitude (node spacing under one ulp), so linspace
+        # collapses neighbouring nodes.  Widen symmetrically by the
+        # minimum that guarantees strictly increasing nodes — a few
+        # ulps per node — rather than a fraction of the magnitude,
+        # preserving as much of the sample structure as possible.
+        center = 0.5 * (lo + hi)
+        scale = max(abs(lo), abs(hi), 1e-12)
+        half_width = max(0.5 * (hi - lo),
+                         (n_states - 1) * float(np.spacing(scale)))
+        nodes = np.linspace(center - half_width, center + half_width,
+                            n_states)
+    return nodes
 
 
 @dataclass(frozen=True)

@@ -33,6 +33,7 @@ Modules
 * :mod:`~repro.ot.network_simplex` — exact general solver.
 * :mod:`~repro.ot.lp` — scipy ``linprog`` oracle.
 * :mod:`~repro.ot.sinkhorn` — entropic OT.
+* :mod:`~repro.ot.multiscale` — coarsen-solve-refine sparse hybrid.
 * :mod:`~repro.ot.barycenter` — W2 barycentres / geodesics.
 * :mod:`~repro.ot.wasserstein` — ``W_p`` distances.
 
@@ -44,16 +45,19 @@ available as thin shims over :func:`solve`.
 from .barycenter import (barycenter_1d, geodesic_point_1d, project_onto_grid,
                          sinkhorn_barycenter)
 from .cost import (cost_matrix, euclidean_cost, lp_cost, make_cost_function,
-                   squared_euclidean_cost)
-from .coupling import TransportPlan, is_coupling, marginal_residual
+                   pointwise_cost, squared_euclidean_cost)
+from .coupling import (TransportPlan, dilate_mask, is_coupling,
+                       marginal_residual, refine_mask)
 from .lp import solve_transport_lp, transport_lp
+from .multiscale import coarsen_problem, default_coarsen_factor
 from .network_simplex import solve_transport, transport_simplex
-from .onedim import (monotone_map, north_west_corner, quantile_function,
+from .onedim import (monotone_map, north_west_corner,
+                     north_west_corner_support, quantile_function,
                      solve_1d, wasserstein_1d)
 from .problem import OTProblem, OTResult
-from .registry import (Solver, available_solvers, register_solver,
-                       resolve_solver, solver_descriptions,
-                       unregister_solver)
+from .registry import (Solver, available_solvers, filter_opts,
+                       register_solver, resolve_solver,
+                       solver_descriptions, unregister_solver)
 from .sinkhorn import SinkhornResult, sinkhorn, sinkhorn_log, solve_sinkhorn
 from .sliced import random_directions, sliced_wasserstein
 from .solve import auto_method, solve
@@ -69,8 +73,12 @@ __all__ = [
     "auto_method",
     "available_solvers",
     "barycenter_1d",
+    "coarsen_problem",
     "cost_matrix",
+    "default_coarsen_factor",
+    "dilate_mask",
     "euclidean_cost",
+    "filter_opts",
     "geodesic_point_1d",
     "is_coupling",
     "lp_cost",
@@ -78,7 +86,10 @@ __all__ = [
     "marginal_residual",
     "monotone_map",
     "north_west_corner",
+    "north_west_corner_support",
+    "pointwise_cost",
     "project_onto_grid",
+    "refine_mask",
     "quantile_function",
     "random_directions",
     "register_solver",

@@ -18,6 +18,7 @@ from ..exceptions import ValidationError
 
 __all__ = [
     "cost_matrix",
+    "pointwise_cost",
     "squared_euclidean_cost",
     "euclidean_cost",
     "lp_cost",
@@ -85,6 +86,37 @@ def cost_matrix(source, target, *, metric: str = "sqeuclidean",
         return euclidean_cost(source, target)
     if metric == "lp":
         return lp_cost(source, target, p)
+    raise ValidationError(
+        f"unknown metric {metric!r}; expected 'sqeuclidean', 'euclidean' "
+        "or 'lp'")
+
+
+def pointwise_cost(source, target, *, metric: str = "sqeuclidean",
+                   p: int = 2) -> np.ndarray:
+    """``c(x_i, y_i)`` for *paired* points — the pointwise counterpart
+    of :func:`cost_matrix`, sharing its metric names and semantics.
+
+    ``source`` and ``target`` are ``(k, d)`` (or ``(k,)``) arrays of
+    equal length; the result is the length-``k`` vector of per-pair
+    costs.  Sparse-support solvers use this to evaluate the ground cost
+    at exactly their support entries without materialising the full
+    ``(n, m)`` matrix.
+    """
+    xs = as_2d_array(source, name="source")
+    ys = as_2d_array(target, name="target")
+    _check_same_dim(xs, ys)
+    if xs.shape[0] != ys.shape[0]:
+        raise ValidationError(
+            "pointwise_cost pairs points one-to-one; got "
+            f"{xs.shape[0]} source vs {ys.shape[0]} target points")
+    diff = xs - ys
+    if metric == "sqeuclidean" or (metric == "lp" and p == 2):
+        return np.sum(diff * diff, axis=1)
+    if metric == "euclidean":
+        return np.sqrt(np.sum(diff * diff, axis=1))
+    if metric == "lp":
+        p = check_positive_int(p, name="p")
+        return np.sum(np.abs(diff) ** p, axis=1)
     raise ValidationError(
         f"unknown metric {metric!r}; expected 'sqeuclidean', 'euclidean' "
         "or 'lp'")

@@ -30,7 +30,7 @@ from ..exceptions import ValidationError
 
 __all__ = ["TransportPlan", "marginal_residual", "is_coupling",
            "sample_conditional_rows", "conditional_cumulative",
-           "SPARSE_DENSITY_THRESHOLD"]
+           "dilate_mask", "refine_mask", "SPARSE_DENSITY_THRESHOLD"]
 
 #: Below this fraction of structural non-zeros a plan is worth storing as
 #: CSR: the triplet arrays (data + indices + indptr) then undercut the
@@ -77,6 +77,73 @@ def is_coupling(matrix, source_weights: np.ndarray,
     elif np.any(matrix < -atol):
         return False
     return marginal_residual(matrix, source_weights, target_weights) <= atol
+
+
+def dilate_mask(mask, radius: int = 1) -> np.ndarray:
+    """Binary dilation of a boolean matrix by a Chebyshev ``radius``.
+
+    Every ``True`` entry spreads to its ``(2·radius + 1)²`` neighbourhood
+    (clipped at the matrix edges).  This is the support-propagation step
+    of the multiscale solver: an active coarse-plan cell licenses its
+    whole coarse neighbourhood before the mask is refined onto the fine
+    grid, so the exact fine-level optimum may deviate from the coarse
+    plan by up to ``radius`` coarse cells in any direction.
+
+    >>> import numpy as np
+    >>> mask = np.zeros((3, 4), dtype=bool)
+    >>> mask[1, 1] = True
+    >>> dilate_mask(mask, radius=1).astype(int)
+    array([[1, 1, 1, 0],
+           [1, 1, 1, 0],
+           [1, 1, 1, 0]])
+    >>> bool(np.array_equal(dilate_mask(mask, radius=0), mask))
+    True
+    """
+    mask = np.asarray(mask, dtype=bool)
+    if mask.ndim != 2:
+        raise ValidationError(
+            f"mask must be 2-D, got shape {mask.shape}")
+    if radius < 0:
+        raise ValidationError(f"radius must be >= 0, got {radius}")
+    if radius == 0:
+        return mask.copy()
+    from scipy import ndimage
+    structure = np.ones((2 * radius + 1, 2 * radius + 1), dtype=bool)
+    return ndimage.binary_dilation(mask, structure=structure)
+
+
+def refine_mask(coarse_mask, row_bins, col_bins) -> np.ndarray:
+    """Expand a coarse support mask onto the fine grid.
+
+    ``row_bins[i]`` / ``col_bins[j]`` give the coarse bin of fine source
+    point ``i`` / fine target point ``j``; fine entry ``(i, j)`` is
+    allowed exactly when its coarse cell ``(row_bins[i], col_bins[j])``
+    is allowed.  This is the refinement step of the multiscale solver:
+    the dilated coarse support becomes the ``support_mask`` of the
+    restricted fine LP.
+
+    >>> import numpy as np
+    >>> coarse = np.array([[True, False], [False, True]])
+    >>> refine_mask(coarse, [0, 0, 1], [0, 1]).astype(int)
+    array([[1, 0],
+           [1, 0],
+           [0, 1]])
+    """
+    coarse_mask = np.asarray(coarse_mask, dtype=bool)
+    row_bins = np.asarray(row_bins, dtype=np.intp)
+    col_bins = np.asarray(col_bins, dtype=np.intp)
+    if coarse_mask.ndim != 2:
+        raise ValidationError(
+            f"coarse_mask must be 2-D, got shape {coarse_mask.shape}")
+    for bins, axis_size, name in ((row_bins, coarse_mask.shape[0], "row"),
+                                  (col_bins, coarse_mask.shape[1], "col")):
+        if bins.ndim != 1:
+            raise ValidationError(f"{name}_bins must be 1-D")
+        if bins.size and (bins.min() < 0 or bins.max() >= axis_size):
+            raise ValidationError(
+                f"{name}_bins indices out of range for coarse_mask axis "
+                f"of size {axis_size}")
+    return coarse_mask[np.ix_(row_bins, col_bins)]
 
 
 def conditional_cumulative(conditionals) -> np.ndarray:

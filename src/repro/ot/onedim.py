@@ -22,6 +22,7 @@ from .coupling import TransportPlan
 
 __all__ = [
     "north_west_corner",
+    "north_west_corner_support",
     "solve_1d",
     "wasserstein_1d",
     "quantile_function",
@@ -43,13 +44,33 @@ def north_west_corner(source_weights, target_weights) -> np.ndarray:
                                normalize=True)
     nu = as_probability_vector(target_weights, name="target_weights",
                                normalize=True)
+    rows, cols, masses = _staircase_walk(mu, nu)
     plan = np.zeros((mu.size, nu.size))
+    plan[rows, cols] = masses
+    return plan
+
+
+def _staircase_walk(mu: np.ndarray,
+                    nu: np.ndarray) -> tuple[np.ndarray, np.ndarray,
+                                             np.ndarray]:
+    """The single source of truth for the north-west-corner traversal.
+
+    Walks the two cumulative distributions simultaneously and returns
+    the visited ``(rows, cols, masses)`` triplet — at most ``n + m - 1``
+    entries — from which both the dense plan and the support-only view
+    are derived.
+    """
+    rows = []
+    cols = []
+    masses = []
     remaining_mu = mu.copy()
     remaining_nu = nu.copy()
     i = j = 0
     while i < mu.size and j < nu.size:
         mass = min(remaining_mu[i], remaining_nu[j])
-        plan[i, j] = mass
+        rows.append(i)
+        cols.append(j)
+        masses.append(mass)
         remaining_mu[i] -= mass
         remaining_nu[j] -= mass
         # Advance whichever side was exhausted; advance both on a tie so the
@@ -59,7 +80,33 @@ def north_west_corner(source_weights, target_weights) -> np.ndarray:
             i += 1
         if remaining_nu[j] <= tol:
             j += 1
-    return plan
+    return (np.asarray(rows, dtype=np.intp),
+            np.asarray(cols, dtype=np.intp),
+            np.asarray(masses, dtype=float))
+
+
+def north_west_corner_support(source_weights,
+                              target_weights) -> tuple[np.ndarray,
+                                                       np.ndarray]:
+    """Index pairs of the north-west-corner staircase, without the matrix.
+
+    Returns ``(rows, cols)`` index arrays such that the coupling built by
+    :func:`north_west_corner` is supported on exactly these entries.  The
+    traversal is ``O(n + m)`` in time *and* memory, so large-support
+    callers (the multiscale solver's feasibility patch) can union the
+    staircase into a sparse support set without materialising the dense
+    ``(n, m)`` plan.
+
+    >>> rows, cols = north_west_corner_support([0.5, 0.5], [0.25, 0.75])
+    >>> list(zip(rows.tolist(), cols.tolist()))
+    [(0, 0), (0, 1), (1, 1)]
+    """
+    mu = as_probability_vector(source_weights, name="source_weights",
+                               normalize=True)
+    nu = as_probability_vector(target_weights, name="target_weights",
+                               normalize=True)
+    rows, cols, _ = _staircase_walk(mu, nu)
+    return rows, cols
 
 
 def solve_1d(source_support, source_weights, target_support, target_weights,

@@ -58,9 +58,10 @@ class OTProblem:
         runs on exactly these entries, unioning in an ``O(n + m)``
         feasibility patch *only* when the restricted problem is
         infeasible, reported via ``extras["mask_widened"]``), while
-        ``"screened"`` treats it as support to *include* alongside the
-        entropically screened top-k entries.  The monotone and dense
-        simplex solvers reject masked problems.
+        ``"screened"`` and ``"multiscale"`` treat it as support to
+        *include* alongside their own screened / dilated-coarse
+        entries.  The monotone and dense simplex solvers reject masked
+        problems.
     p:
         Exponent of the ``|x - y|^p`` family used by metric-named costs
         and by the closed-form 1-D solver.
@@ -150,6 +151,31 @@ class OTProblem:
                 and self.target_support.shape[1] == 1)
 
     @property
+    def has_metric_cost(self) -> bool:
+        """True when the ground cost is derived from the supports via a
+        named ``|x - y|^p``-family metric (no hand-rolled cost matrix or
+        callable).  Solvers that exploit support geometry — the
+        closed-form monotone coupling, the multiscale coarse level —
+        are only provably aligned with the cost in this regime.
+        """
+        return self.cost is None and not callable(self.cost_fn)
+
+    @property
+    def metric(self) -> str | None:
+        """The resolved metric name for metric-family costs, else None.
+
+        This is the single definition of the default-metric rule
+        (``p == 2`` means the paper's squared-Euclidean cost), shared by
+        :meth:`cost_matrix` and the sparse-support solvers' pointwise
+        cost evaluation.
+        """
+        if not self.has_metric_cost:
+            return None
+        if self.cost_fn is None:
+            return "sqeuclidean" if self.p == 2 else "lp"
+        return self.cost_fn
+
+    @property
     def is_monotone_solvable(self) -> bool:
         """True when the closed-form monotone coupling is provably optimal.
 
@@ -159,7 +185,7 @@ class OTProblem:
         """
         if not self.is_one_dimensional or self.support_mask is not None:
             return False
-        if self.cost is not None or callable(self.cost_fn):
+        if not self.has_metric_cost:
             return False
         return self.cost_fn is None or self.cost_fn in _MONOTONE_METRICS
 
@@ -181,12 +207,9 @@ class OTProblem:
                     f"cost_fn returned shape {cost.shape}, expected "
                     f"{self.shape}")
         else:
-            metric = self.cost_fn
-            if metric is None:
-                metric = "sqeuclidean" if self.p == 2 else "lp"
             cost = _build_cost_matrix(self.source_support,
                                       self.target_support,
-                                      metric=metric, p=self.p)
+                                      metric=self.metric, p=self.p)
         object.__setattr__(self, "_cost_cache", cost)
         return cost
 

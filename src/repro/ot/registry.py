@@ -1,18 +1,36 @@
 """Pluggable solver registry for the unified :func:`repro.ot.solve` API.
 
 Solvers are callables ``fn(problem: OTProblem, **opts) -> OTResult``
-registered under a short name:
+registered under a short name.  A solver may also return a bare plan
+matrix (or a :class:`~repro.ot.coupling.TransportPlan`); the registry
+coerces it into an ``OTResult``, deriving cost and residuals:
 
->>> from repro.ot import register_solver, available_solvers
->>> @register_solver("my-solver", description="toy example")
-... def my_solver(problem, **opts):
-...     ...
+>>> import numpy as np
+>>> from repro.ot import (register_solver, unregister_solver,
+...                       available_solvers, resolve_solver, solve)
+>>> @register_solver("doc-uniform", description="independent coupling")
+... def doc_uniform(problem):
+...     return np.outer(problem.source_weights, problem.target_weights)
+>>> "doc-uniform" in available_solvers()
+True
+>>> result = solve(np.eye(2), [0.5, 0.5], [0.5, 0.5],
+...                method="doc-uniform")
+>>> result.solver, float(result.value)
+('doc-uniform', 0.5)
+>>> unregister_solver("doc-uniform")
+>>> "doc-uniform" in available_solvers()
+False
 
 The facade resolves a *spec* — a registered name, a bare callable, or a
 :class:`Solver` instance — so every consumer of the OT layer
 (:func:`repro.core.design.design_repair`, the CLI, the benchmarks) can
 accept user-supplied solvers without special-casing.  Typos fail fast
-with the list of available names.
+with the list of available names:
+
+>>> resolve_solver("doc-uniform")  # doctest: +ELLIPSIS
+Traceback (most recent call last):
+    ...
+repro.exceptions.ValidationError: unknown solver 'doc-uniform'; ...
 """
 
 from __future__ import annotations
@@ -160,6 +178,13 @@ def filter_opts(solver: Solver, candidates: dict) -> dict:
     offer tuning knobs like ``epsilon`` without knowing which solver will
     run: entropic solvers pick them up, exact solvers never see them.  A
     solver taking ``**kwargs`` receives every candidate.
+
+    >>> from repro.ot import resolve_solver
+    >>> sorted(filter_opts(resolve_solver("multiscale"),
+    ...                    {"coarsen": 4, "epsilon": 1e-2}))
+    ['coarsen']
+    >>> filter_opts(resolve_solver("exact"), {"epsilon": 1e-2})
+    {}
     """
     try:
         params = inspect.signature(solver.fn).parameters

@@ -23,11 +23,39 @@ Built-in methods
     support down to the top-``k`` entries per row and column, then an
     exact LP restricted to that sparse support recovers an unregularised
     plan — the POT network-simplex/Sinkhorn hybrid pattern, and this
-    library's fast path for large supports.
+    library's fast path for large general supports.
+``"multiscale"``
+    Coarsen-solve-refine (see :mod:`repro.ot.multiscale`): bin the fine
+    grid, solve the coarse problem exactly, dilate the coarse plan's
+    support onto the fine grid, and solve the exact LP restricted to
+    that sparse support.  Needs 1-D supports; the fast path for very
+    large quantile grids with metric-family costs.
 ``"auto"`` (default)
     Dispatches on problem structure: monotone closed form when provably
     optimal, simplex for small dense problems, LP for medium ones,
-    screened beyond :data:`LP_AUTO_LIMIT` states.
+    screened beyond :data:`LP_AUTO_LIMIT` states, multiscale beyond
+    :data:`MULTISCALE_AUTO_LIMIT` states when the supports are 1-D and
+    the cost is metric-family (i.e. derived from those supports).
+
+A quick doctest tour (the facade accepts a problem or the legacy
+``(cost, mu, nu)`` triplet):
+
+>>> import numpy as np
+>>> from repro.ot import OTProblem, solve
+>>> problem = OTProblem(source_weights=[0.5, 0.5],
+...                     target_weights=[0.5, 0.5],
+...                     source_support=[0.0, 1.0],
+...                     target_support=[0.0, 2.0])
+>>> result = solve(problem)          # auto -> monotone closed form
+>>> result.solver
+'exact'
+>>> result.plan.toarray()
+array([[0.5, 0. ],
+       [0. , 0.5]])
+>>> float(result.value)              # 0.5*(0-0)^2 + 0.5*(1-2)^2
+0.5
+>>> solve(np.eye(2), [0.5, 0.5], [0.5, 0.5], method="lp").converged
+True
 """
 
 from __future__ import annotations
@@ -47,14 +75,21 @@ from .registry import filter_opts, register_solver, resolve_solver
 from .sinkhorn import sinkhorn as _sinkhorn_impl
 from .sinkhorn import sinkhorn_log as _sinkhorn_log_impl
 
-__all__ = ["solve", "auto_method", "as_problem",
-           "SIMPLEX_AUTO_LIMIT", "LP_AUTO_LIMIT"]
+__all__ = ["solve", "auto_method", "as_problem", "SIMPLEX_AUTO_LIMIT",
+           "LP_AUTO_LIMIT", "MULTISCALE_AUTO_LIMIT"]
 
 #: Largest marginal size ``auto`` still hands to the dense simplex.
 SIMPLEX_AUTO_LIMIT = 64
 #: Largest marginal size ``auto`` still hands to the dense LP; beyond
 #: this the screened sparse hybrid takes over.
 LP_AUTO_LIMIT = 300
+#: Marginal size from which ``auto`` prefers the multiscale
+#: coarsen-solve-refine solver over the single-level screened hybrid —
+#: the regime where the entropic screen itself becomes the bottleneck.
+#: Only problems with 1-D supports *and* a metric-family cost qualify:
+#: the solver coarsens by support geometry, which predicts the optimal
+#: support only when the cost is derived from that geometry.
+MULTISCALE_AUTO_LIMIT = 2000
 
 
 def as_problem(problem_or_cost, source_weights=None, target_weights=None,
@@ -85,17 +120,50 @@ def as_problem(problem_or_cost, source_weights=None, target_weights=None,
 
 
 def auto_method(problem: OTProblem) -> str:
-    """The solver name ``method="auto"`` dispatches ``problem`` to."""
+    """The solver name ``method="auto"`` dispatches ``problem`` to.
+
+    >>> import numpy as np
+    >>> from repro.ot import OTProblem
+    >>> nodes = np.linspace(0.0, 1.0, 4)
+    >>> weights = np.full(4, 0.25)
+    >>> auto_method(OTProblem(source_weights=weights,
+    ...                       target_weights=weights,
+    ...                       source_support=nodes, target_support=nodes))
+    'exact'
+    >>> auto_method(OTProblem(source_weights=weights,
+    ...                       target_weights=weights,
+    ...                       cost=np.eye(4)))
+    'simplex'
+    """
     if problem.is_monotone_solvable:
         return "exact"
     size = max(problem.shape)
     if problem.support_mask is not None:
-        # Only the LP and screened solvers honour a support mask.
-        return "lp" if size <= LP_AUTO_LIMIT else "screened"
+        # Only the LP, screened and multiscale solvers honour a mask.
+        if size <= LP_AUTO_LIMIT:
+            return "lp"
+        return _large_scale_method(problem, size)
     if size <= SIMPLEX_AUTO_LIMIT:
         return "simplex"
     if size <= LP_AUTO_LIMIT:
         return "lp"
+    return _large_scale_method(problem, size)
+
+
+def _large_scale_method(problem: OTProblem, size: int) -> str:
+    """Pick between the two sparse large-support paths.
+
+    Multiscale coarsens by support geometry, which predicts the optimal
+    support only when the cost is *derived from* that geometry — so it
+    takes over past :data:`MULTISCALE_AUTO_LIMIT` only for 1-D-supported
+    metric-family problems (in practice: masked ones, since unmasked
+    metric 1-D problems are monotone-solvable and never reach here).
+    Arbitrary explicit or callable costs go to the screened hybrid,
+    whose Sinkhorn screen works on the true cost.
+    """
+    if (size >= MULTISCALE_AUTO_LIMIT and problem.is_one_dimensional
+            and problem.has_metric_cost):
+        return "multiscale"
     return "screened"
 
 
@@ -343,7 +411,8 @@ def _solve_screened(problem: OTProblem, *, epsilon: float = 1e-2,
     "auto",
     description="structure-based dispatch: monotone closed form for 1-D "
                 "convex costs, simplex for small dense problems, LP for "
-                "medium, screened hybrid for large supports")
+                "medium, screened hybrid for large supports, multiscale "
+                "for very large 1-D metric-cost grids")
 def _solve_auto(problem: OTProblem, **opts) -> OTResult:
     """Resolvable name for the default dispatch (so registry consumers
     like ``design_repair(solver="auto")`` work uniformly).
@@ -372,10 +441,29 @@ def _restricted_lp_matrix(cost: np.ndarray, mu: np.ndarray, nu: np.ndarray,
     is never materialised densely.
     """
     rows, cols = np.nonzero(mask)
+    matrix, nit, _ = _restricted_lp_entries(
+        cost[rows, cols], rows, cols, cost.shape, mu, nu,
+        presolve_retry=presolve_retry, sparse_output=sparse_output)
+    return matrix, nit
+
+
+def _restricted_lp_entries(cost_values: np.ndarray, rows: np.ndarray,
+                           cols: np.ndarray, shape: tuple, mu: np.ndarray,
+                           nu: np.ndarray, *, presolve_retry: bool = True,
+                           sparse_output: bool = False):
+    """Exact LP over an explicit list of allowed coupling entries.
+
+    The support is given directly as parallel ``rows`` / ``cols`` index
+    arrays with ``cost_values`` holding the ground cost at exactly those
+    entries, so callers that can evaluate the cost pointwise (the
+    multiscale solver on metric-family costs) never build the dense
+    ``(n, m)`` cost matrix.  Returns ``(matrix, n_iter, value)`` where
+    ``value`` is the LP objective of the returned plan.
+    """
     nnz = rows.size
     data = np.ones(nnz)
     variable_ids = np.arange(nnz)
-    n, m = cost.shape
+    n, m = shape
     a_rows = sparse.coo_matrix((data, (rows, variable_ids)),
                                shape=(n, nnz)).tocsr()
     # Final column constraint dropped: redundant in the balanced problem.
@@ -384,14 +472,15 @@ def _restricted_lp_matrix(cost: np.ndarray, mu: np.ndarray, nu: np.ndarray,
     a_eq = sparse.vstack([a_rows, a_cols], format="csr")
     b_eq = np.concatenate([mu, nu[:-1]])
     result = _linprog_with_presolve_retry(
-        cost[rows, cols], a_eq, b_eq, what="the restricted transport LP",
+        cost_values, a_eq, b_eq, what="the restricted transport LP",
         presolve_retry=presolve_retry)
     values = np.clip(result.x, 0.0, None)
+    value = float(np.dot(cost_values, values))
     nit = int(getattr(result, "nit", 0) or 0)
     if sparse_output:
         matrix = sparse.csr_array((values, (rows, cols)), shape=(n, m))
         matrix.eliminate_zeros()
-        return matrix, nit
+        return matrix, nit, value
     matrix = np.zeros((n, m))
     matrix[rows, cols] = values
-    return matrix, nit
+    return matrix, nit, value

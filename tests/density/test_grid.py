@@ -41,6 +41,25 @@ class TestUniformGrid:
         grid = uniform_grid([3.0, 3.0], 5)
         assert grid[0] < 3.0 < grid[-1]
 
+    def test_subnormal_span_stays_strictly_increasing(self):
+        # Hypothesis counterexample: a denormal-scale span collapses
+        # linspace nodes onto the same float; the fallback must widen.
+        grid = uniform_grid([0.0, 5e-324], 3)
+        assert np.all(np.diff(grid) > 0)
+
+    def test_ulp_collapse_widens_minimally(self):
+        # A span of 100 at magnitude 1e16 (ulp 2) cannot carry 200
+        # half-unit-spaced nodes; the fallback must widen just enough
+        # for strictly increasing nodes while keeping the two sample
+        # values in distinct grid cells (not blow up to |x|*1e-6).
+        grid = uniform_grid([1e16, 1e16 + 100.0], 200)
+        assert np.all(np.diff(grid) > 0)
+        locator = InterpolationGrid(grid)
+        low_cell = locator.locate(1e16)[0][0]
+        high_cell = locator.locate(1e16 + 100.0)[0][0]
+        assert low_cell != high_cell
+        assert grid[-1] - grid[0] < 1e6  # minimal widening, not 1e10
+
     def test_negative_padding_rejected(self):
         with pytest.raises(ValidationError, match="padding"):
             uniform_grid([0.0, 1.0], 5, padding=-0.1)

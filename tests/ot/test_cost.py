@@ -7,7 +7,8 @@ import pytest
 
 from repro.exceptions import ValidationError
 from repro.ot.cost import (cost_matrix, euclidean_cost, lp_cost,
-                           make_cost_function, squared_euclidean_cost)
+                           make_cost_function, pointwise_cost,
+                           squared_euclidean_cost)
 
 
 class TestSquaredEuclidean:
@@ -86,3 +87,33 @@ class TestDispatch:
         fn = make_cost_function("lp", p=1)
         np.testing.assert_allclose(fn([0.0], [3.0]), [[3.0]])
         assert "lp" in fn.__name__
+
+
+class TestPointwiseCost:
+    """pointwise_cost is cost_matrix's per-pair counterpart: sparse-
+    support solvers rely on the two never disagreeing."""
+
+    @pytest.mark.parametrize("metric,p", [("sqeuclidean", 2),
+                                          ("euclidean", 2),
+                                          ("lp", 1), ("lp", 2), ("lp", 3)])
+    def test_matches_cost_matrix_entries(self, rng, metric, p):
+        xs = rng.normal(size=(7, 2))
+        ys = rng.normal(size=(5, 2))
+        full = cost_matrix(xs, ys, metric=metric, p=p)
+        rows = np.array([0, 1, 6, 3, 3])
+        cols = np.array([4, 0, 2, 2, 1])
+        np.testing.assert_allclose(
+            pointwise_cost(xs[rows], ys[cols], metric=metric, p=p),
+            full[rows, cols])
+
+    def test_one_dimensional_inputs(self):
+        np.testing.assert_allclose(
+            pointwise_cost([0.0, 1.0], [2.0, -1.0]), [4.0, 4.0])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValidationError, match="one-to-one"):
+            pointwise_cost([[0.0]], [[1.0], [2.0]])
+
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(ValidationError, match="unknown metric"):
+            pointwise_cost([0.0], [1.0], metric="cosine")

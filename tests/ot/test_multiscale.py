@@ -1,0 +1,285 @@
+"""Tests for the multiscale coarsen-solve-refine solver.
+
+Covers the four layers of the tentpole: the coarsening step (grid
+binning, marginal aggregation, cost handling), the support-mask helpers,
+the registered ``"multiscale"`` solver's contract (near-LP value, CSR
+plan, mask semantics, validation), and the auto-dispatch rule for very
+large 1-D problems.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.ot import (OTProblem, auto_method, available_solvers,
+                      coarsen_problem, default_coarsen_factor, dilate_mask,
+                      north_west_corner, north_west_corner_support,
+                      refine_mask, solve)
+from repro.ot.solve import MULTISCALE_AUTO_LIMIT
+
+
+def gaussian_grid_problem(n, *, explicit_cost=False, support_mask=None):
+    """A smooth two-bump/one-bump pair on a shared uniform grid."""
+    nodes = np.linspace(-3.0, 3.0, n)
+    mu = (np.exp(-0.5 * (nodes + 1.0) ** 2)
+          + 0.3 * np.exp(-2.0 * (nodes - 0.5) ** 2))
+    nu = np.exp(-0.5 * (nodes - 1.0) ** 2)
+    mu /= mu.sum()
+    nu /= nu.sum()
+    kwargs = dict(source_weights=mu, target_weights=nu,
+                  source_support=nodes, target_support=nodes,
+                  support_mask=support_mask)
+    if explicit_cost:
+        kwargs["cost"] = np.square(nodes[:, None] - nodes[None, :])
+    return OTProblem(**kwargs)
+
+
+class TestMaskHelpers:
+    def test_dilate_spreads_to_neighbourhood(self):
+        mask = np.zeros((5, 5), dtype=bool)
+        mask[2, 2] = True
+        out = dilate_mask(mask, radius=1)
+        assert out[1:4, 1:4].all()
+        assert out.sum() == 9
+
+    def test_dilate_clips_at_edges(self):
+        mask = np.zeros((3, 3), dtype=bool)
+        mask[0, 0] = True
+        out = dilate_mask(mask, radius=2)
+        assert out.all()  # radius 2 from a corner covers a 3x3 matrix
+
+    def test_dilate_radius_zero_is_copy(self):
+        mask = np.eye(4, dtype=bool)
+        out = dilate_mask(mask, radius=0)
+        assert np.array_equal(out, mask)
+        assert out is not mask
+
+    def test_dilate_validates(self):
+        with pytest.raises(ValidationError, match="2-D"):
+            dilate_mask(np.zeros(3, dtype=bool))
+        with pytest.raises(ValidationError, match="radius"):
+            dilate_mask(np.zeros((2, 2), dtype=bool), radius=-1)
+
+    def test_refine_expands_by_bins(self):
+        coarse = np.array([[True, False], [False, True]])
+        fine = refine_mask(coarse, [0, 0, 1, 1], [0, 1])
+        expected = np.array([[True, False], [True, False],
+                             [False, True], [False, True]])
+        assert np.array_equal(fine, expected)
+
+    def test_refine_validates_bin_range(self):
+        coarse = np.zeros((2, 2), dtype=bool)
+        with pytest.raises(ValidationError, match="out of range"):
+            refine_mask(coarse, [0, 2], [0])
+
+    def test_nw_support_matches_dense_nw_plan(self, rng):
+        mu = rng.dirichlet(np.ones(9))
+        nu = rng.dirichlet(np.ones(13))
+        rows, cols = north_west_corner_support(mu, nu)
+        dense = north_west_corner(mu, nu)
+        mask = np.zeros(dense.shape, dtype=bool)
+        mask[rows, cols] = True
+        # Every mass-carrying entry of the dense staircase is covered.
+        assert mask[dense > 0.0].all()
+        # And the staircase stays O(n + m).
+        assert rows.size <= mu.size + nu.size
+
+
+class TestCoarsening:
+    def test_coarse_marginals_conserve_mass(self):
+        problem = gaussian_grid_problem(160)
+        coarse, source_bins, target_bins = coarsen_problem(problem, 8)
+        assert coarse.shape == (20, 20)
+        assert coarse.source_weights.sum() == pytest.approx(1.0)
+        assert source_bins.shape == (160,)
+        assert source_bins.min() == 0 and source_bins.max() == 19
+        # Bin centres are mass-weighted means, so they stay in range.
+        assert coarse.source_support.min() >= -3.0
+        assert coarse.source_support.max() <= 3.0
+
+    def test_explicit_cost_is_aggregated(self):
+        problem = gaussian_grid_problem(64, explicit_cost=True)
+        coarse, _, _ = coarsen_problem(problem, 4)
+        assert coarse.cost is not None
+        assert coarse.cost.shape == (16, 16)
+        # Aggregated squared-distance cost keeps the diagonal cheapest.
+        assert np.all(np.argmin(coarse.cost, axis=1)
+                      == np.arange(16))
+
+    def test_metric_cost_passes_through(self):
+        problem = gaussian_grid_problem(64)
+        coarse, _, _ = coarsen_problem(problem, 4)
+        assert coarse.cost is None
+        assert coarse.is_monotone_solvable
+
+    def test_needs_one_dimensional_supports(self, rng):
+        problem = OTProblem(source_weights=[0.5, 0.5],
+                            target_weights=[0.5, 0.5],
+                            cost=rng.random((2, 2)))
+        with pytest.raises(ValidationError, match="1-D"):
+            coarsen_problem(problem, 2)
+
+    def test_factor_validated(self):
+        problem = gaussian_grid_problem(16)
+        with pytest.raises(ValidationError, match="coarsen"):
+            coarsen_problem(problem, 1)
+
+    def test_default_factor(self):
+        assert default_coarsen_factor(500) == 4
+        assert default_coarsen_factor(5000) == 4
+
+
+class TestMultiscaleSolver:
+    def test_registered(self):
+        assert "multiscale" in available_solvers()
+
+    def test_matches_lp_oracle_within_one_percent(self):
+        problem = gaussian_grid_problem(300)
+        multiscale = solve(problem, method="multiscale")
+        lp = solve(problem, method="lp")
+        # The acceptance bound is 1%; in practice the restricted LP is
+        # exact to solver precision on monotone-structured problems.
+        assert multiscale.value <= lp.value * 1.01
+        assert multiscale.value == pytest.approx(lp.value, rel=1e-6)
+        assert multiscale.marginal_residual <= 1e-8
+        assert multiscale.converged
+
+    def test_returns_csr_plan_with_sparse_support(self):
+        problem = gaussian_grid_problem(300)
+        result = solve(problem, method="multiscale")
+        assert result.plan.is_sparse
+        assert result.extras["support_density"] < 0.25
+        assert result.extras["coarse_solver"] == "exact"
+        assert result.extras["coarsen"] == default_coarsen_factor(300)
+
+    def test_explicit_cost_path(self):
+        problem = gaussian_grid_problem(120, explicit_cost=True)
+        lp = solve(problem, method="lp")
+        result = solve(problem, method="multiscale", coarsen=4)
+        assert result.value == pytest.approx(lp.value, rel=1e-6)
+        # Explicit cost disables the monotone shortcut at the coarse
+        # level; dispatch picks an exact general solver instead.
+        assert result.extras["coarse_solver"] in ("simplex", "lp")
+
+    def test_support_mask_unioned_in(self):
+        n = 80
+        mask = np.zeros((n, n), dtype=bool)
+        mask[0, :] = True
+        problem = gaussian_grid_problem(n, support_mask=mask)
+        result = solve(problem, method="multiscale", coarsen=4)
+        unmasked = solve(gaussian_grid_problem(n), method="multiscale",
+                         coarsen=4)
+        assert result.extras["support_size"] \
+            >= unmasked.extras["support_size"]
+        assert result.marginal_residual <= 1e-8
+
+    def test_radius_zero_still_feasible(self):
+        problem = gaussian_grid_problem(100)
+        result = solve(problem, method="multiscale", radius=0)
+        assert result.marginal_residual <= 1e-8
+
+    def test_wider_radius_never_worse(self):
+        problem = gaussian_grid_problem(150)
+        narrow = solve(problem, method="multiscale", radius=1)
+        wide = solve(problem, method="multiscale", radius=3)
+        assert wide.value <= narrow.value + 1e-12
+        assert wide.extras["support_size"] > narrow.extras["support_size"]
+
+    def test_rejects_problems_without_supports(self, rng):
+        problem = OTProblem(source_weights=[0.5, 0.5],
+                            target_weights=[0.5, 0.5],
+                            cost=rng.random((2, 2)))
+        with pytest.raises(ValidationError, match="1-D"):
+            solve(problem, method="multiscale")
+
+    def test_value_reported_without_densifying_cost(self):
+        # The value shortcut must agree with the recomputed <C, plan>.
+        problem = gaussian_grid_problem(200)
+        result = solve(problem, method="multiscale")
+        recomputed = result.plan.expected_cost(problem.cost_matrix())
+        assert result.value == pytest.approx(recomputed, abs=1e-12)
+
+
+class TestAutoDispatch:
+    """Auto picks multiscale only for large 1-D *metric-cost* problems —
+    in practice masked ones, since unmasked metric 1-D problems are
+    monotone-solvable and dispatch to the closed form first."""
+
+    @staticmethod
+    def _large_1d(n, **kwargs):
+        nodes = np.linspace(0.0, 1.0, n)
+        weights = np.full(n, 1.0 / n)
+        return OTProblem(source_weights=weights, target_weights=weights,
+                         source_support=nodes, target_support=nodes,
+                         **kwargs)
+
+    def test_masked_large_metric_goes_multiscale(self):
+        n = MULTISCALE_AUTO_LIMIT
+        problem = self._large_1d(n, support_mask=np.eye(n, dtype=bool))
+        assert auto_method(problem) == "multiscale"
+
+    def test_large_explicit_cost_stays_screened(self):
+        # The coarse support heuristic is only geometry-certified for
+        # metric costs; an arbitrary explicit cost — even with 1-D
+        # supports — must keep routing to the screened hybrid, whose
+        # Sinkhorn screen works on the true cost.
+        n = MULTISCALE_AUTO_LIMIT
+        problem = self._large_1d(n, cost=np.zeros((n, n)))
+        assert auto_method(problem) == "screened"
+
+    def test_large_without_supports_stays_screened(self):
+        n = MULTISCALE_AUTO_LIMIT
+        problem = OTProblem(source_weights=np.full(n, 1.0 / n),
+                            target_weights=np.full(n, 1.0 / n),
+                            cost=np.zeros((n, n)))
+        assert auto_method(problem) == "screened"
+
+    def test_monotone_still_wins_at_any_size(self):
+        problem = self._large_1d(MULTISCALE_AUTO_LIMIT)
+        assert auto_method(problem) == "exact"
+
+    def test_explicit_cost_reports_unconverged(self):
+        # Exact restricted LP, but the support heuristic is uncertified
+        # off the metric family: the result must not claim convergence.
+        problem = gaussian_grid_problem(120, explicit_cost=True)
+        result = solve(problem, method="multiscale", coarsen=4)
+        assert not result.converged
+        assert result.extras["geometry_aligned"] is False
+        metric = solve(gaussian_grid_problem(120), method="multiscale",
+                       coarsen=4)
+        assert metric.converged
+        assert metric.extras["geometry_aligned"] is True
+
+
+class TestDesignIntegration:
+    def test_design_feature_plan_with_multiscale(self, rng):
+        samples = {0: rng.normal(-0.5, 1.0, size=120),
+                   1: rng.normal(0.5, 1.2, size=140)}
+        from repro.core.design import design_feature_plan
+        plan = design_feature_plan(samples, 96, solver="multiscale",
+                                   solver_opts={"coarsen": 4, "radius": 2})
+        for s in (0, 1):
+            assert plan.diagnostics[s]["solver"] == "multiscale"
+            assert plan.diagnostics[s]["coarsen"] == 4
+            assert plan.diagnostics[s]["radius"] == 2
+            plan.transports[s].verify(plan.marginals[s], plan.barycenter)
+
+    def test_solver_opts_filtered_for_other_solvers(self, rng):
+        # Multiscale-only knobs offered alongside the exact solver are
+        # dropped by signature filtering, not crash-inducing.
+        samples = {0: rng.normal(size=60), 1: rng.normal(size=60)}
+        from repro.core.design import design_feature_plan
+        plan = design_feature_plan(samples, 32, solver="exact",
+                                   solver_opts={"coarsen": 4})
+        assert plan.diagnostics[0]["solver"] == "exact"
+
+    def test_design_repair_records_solver_opts(self):
+        from repro.core.design import design_repair
+        from repro.data.simulated import simulate_paper_data
+        split = simulate_paper_data(n_research=80, n_archive=80, rng=5)
+        plan = design_repair(split.research, 48, solver="multiscale",
+                             solver_opts={"coarsen": 6})
+        assert plan.metadata["solver"] == "multiscale"
+        assert plan.metadata["solver_opts"] == {"coarsen": 6}

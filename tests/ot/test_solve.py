@@ -26,6 +26,7 @@ VALUE_RTOL = {
     "simplex": 1e-9,
     "lp": 1e-9,
     "screened": 1e-9,
+    "multiscale": 1e-9,
     "auto": 1e-9,
     "sinkhorn": 0.5,
     "sinkhorn_log": 0.5,
@@ -39,6 +40,7 @@ RESIDUAL_ATOL = {
     "simplex": 1e-8,
     "lp": 1e-8,
     "screened": 1e-8,
+    "multiscale": 1e-8,
     "auto": 1e-8,
     "sinkhorn": 1e-6,
     "sinkhorn_log": 1e-6,
@@ -61,7 +63,7 @@ class TestRegistry:
     def test_builtins_registered(self):
         names = available_solvers()
         for expected in ("exact", "simplex", "lp", "sinkhorn",
-                         "sinkhorn_log", "screened", "auto"):
+                         "sinkhorn_log", "screened", "multiscale", "auto"):
             assert expected in names
 
     def test_every_solver_has_a_description(self):

@@ -203,3 +203,42 @@ class TestSolversCommand:
         assert main(["design", str(data_path), str(plan_path),
                      "--n-states", "12", "--solver", "lp"]) == 0
         assert plan_path.exists()
+
+    def test_design_solver_opts_threaded_through(self, sample_csv,
+                                                 tmp_path, capsys):
+        from repro.core.serialize import load_plan
+
+        data_path, _ = sample_csv
+        plan_path = tmp_path / "plan.npz"
+        assert main(["design", str(data_path), str(plan_path),
+                     "--n-states", "64", "--solver", "multiscale",
+                     "--solver-opt", "coarsen=4",
+                     "--solver-opt", "radius=2"]) == 0
+        plan = load_plan(plan_path)
+        assert plan.metadata["solver"] == "multiscale"
+        assert plan.metadata["solver_opts"] == {"coarsen": 4, "radius": 2}
+        record = next(iter(plan.feature_plans.values())).diagnostics[0]
+        assert record["solver"] == "multiscale"
+        assert record["coarsen"] == 4
+        assert record["radius"] == 2
+
+    def test_design_solver_opt_rejects_malformed_pair(self, sample_csv,
+                                                      tmp_path, capsys):
+        data_path, _ = sample_csv
+        code = main(["design", str(data_path), str(tmp_path / "plan.npz"),
+                     "--solver-opt", "coarsen"])
+        assert code == 1
+        assert "KEY=VALUE" in capsys.readouterr().err
+
+    def test_parse_solver_opts_value_conversion(self):
+        from repro.cli import _parse_solver_opts
+
+        opts = _parse_solver_opts(["coarsen=4", "epsilon=1e-2",
+                                   "coarse_method=lp",
+                                   "raise_on_failure=False"])
+        assert opts == {"coarsen": 4, "epsilon": 1e-2,
+                        "coarse_method": "lp",
+                        "raise_on_failure": False}
+        assert isinstance(opts["coarsen"], int)
+        assert isinstance(opts["epsilon"], float)
+        assert opts["raise_on_failure"] is False
