@@ -1,0 +1,204 @@
+"""Benchmark: the batched execution engine vs the per-cell solve loop.
+
+Algorithm 1 is embarrassingly batchable — every ``(u, s, k)`` design
+cell is an independent 1-D OT problem on a shared quantile grid.  This
+harness builds a ``N_CELLS``-cell same-grid batch (the acceptance shape:
+>= 64 cells, 1-D metric costs) and measures cells/second through four
+paths:
+
+* ``serial``  — the historical per-cell ``solve()`` loop;
+* ``batched`` — one ``solve_many`` call hitting the vectorised monotone
+  batch kernel (a single NumPy dispatch for the whole batch);
+* ``thread`` / ``process`` — ``solve_many``'s executor fallback fanning
+  the same per-cell solves over the pool strategies (measured via an
+  ad-hoc callable solver, which has no batch kernel by construction).
+
+Expectations: the batched path is **>= 3x** faster than the serial
+per-cell loop (the PR's acceptance criterion; typical wins are 4-6x at
+design-realistic grid sizes, where per-cell Python/facade overhead —
+not array arithmetic — dominates the serial loop), and every path
+returns bit-identical plans and values.  A small ``n_Q`` sweep records
+how the win shrinks as dense-plan memory traffic takes over at very
+large grids (the multiscale/CSR regime).  Results land in
+``benchmarks/results/batched.txt`` and
+``benchmarks/results/BENCH_batched.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.executor import ProcessExecutor, ThreadExecutor
+from repro.density.grid import InterpolationGrid
+from repro.density.kde import interpolate_pmf
+from repro.ot import OTProblem, solve, solve_many
+from repro.ot.solve import _solve_exact
+
+N_CELLS = 96
+#: The library's default design resolution (``design_repair(n_states=50)``)
+#: — the regime the batched engine is built for.
+N_STATES = 50
+N_WORKERS = 4
+#: Conservative acceptance floor; the committed results record the
+#: actual measured margin.
+MIN_BATCHED_SPEEDUP = 3.0
+
+
+#: Grid sizes for the serial-vs-batched sweep recorded alongside the
+#: headline numbers (50 is the library's default ``n_states``).
+SWEEP_STATES = (50, 96, 256)
+
+
+def exact_per_cell(problem):
+    """The monotone solver as an anonymous callable: no batch kernel, so
+    solve_many must take the executor fallback for it."""
+    return _solve_exact(problem)
+
+
+def build_cells(rng, n_cells: int, n_states: int):
+    """``n_cells`` design-style problems on one shared ``n_states`` grid."""
+    anchor = rng.normal(size=4 * n_states)
+    grid = InterpolationGrid.from_samples(anchor, n_states)
+    problems = []
+    for _ in range(n_cells):
+        shift = rng.uniform(-0.5, 0.5)
+        source = interpolate_pmf(
+            rng.normal(shift, 1.0, size=300), grid.nodes)
+        target = interpolate_pmf(
+            rng.normal(-shift, 1.0, size=300), grid.nodes)
+        problems.append(OTProblem(source_weights=source,
+                                  target_weights=target,
+                                  source_support=grid.nodes,
+                                  target_support=grid.nodes))
+    return problems
+
+
+@pytest.fixture(scope="module")
+def cell_batch(bench_rng):
+    return build_cells(bench_rng, N_CELLS, N_STATES)
+
+
+def best_of(repeats, fn):
+    """Minimum wall time over ``repeats`` runs; returns (seconds, out)."""
+    best = float("inf")
+    out = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        out = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, out
+
+
+@pytest.fixture(scope="module")
+def measurements(cell_batch):
+    """name -> (seconds, results) for the four execution paths."""
+    paths = {
+        "serial": lambda: [solve(problem, method="exact")
+                           for problem in cell_batch],
+        "batched": lambda: solve_many(cell_batch, method="exact"),
+        "thread": lambda: solve_many(cell_batch, method=exact_per_cell,
+                                     executor=ThreadExecutor(N_WORKERS)),
+        "process": lambda: solve_many(cell_batch, method=exact_per_cell,
+                                      executor=ProcessExecutor(N_WORKERS)),
+    }
+    for fn in paths.values():
+        fn()  # warm every path (imports, pools, allocator) before timing
+    return {name: best_of(3, fn) for name, fn in paths.items()}
+
+
+def test_all_paths_bit_identical(measurements):
+    _, reference = measurements["serial"]
+    for name in ("batched", "thread", "process"):
+        _, results = measurements[name]
+        for got, expected in zip(results, reference):
+            np.testing.assert_array_equal(got.plan.matrix,
+                                          expected.plan.matrix), name
+            assert got.value == expected.value, name
+
+
+def test_batched_beats_serial_by_3x(measurements):
+    serial, _ = measurements["serial"]
+    batched, _ = measurements["batched"]
+    assert batched * MIN_BATCHED_SPEEDUP < serial, (
+        f"batched path only {serial / batched:.1f}x faster than the "
+        f"serial per-cell loop (need >= {MIN_BATCHED_SPEEDUP}x)")
+
+
+def test_batched_results_flagged(measurements):
+    _, results = measurements["batched"]
+    assert all(result.extras.get("batched") for result in results)
+    assert all(result.extras["batch_size"] == N_CELLS
+               for result in results)
+
+
+@pytest.fixture(scope="module")
+def sweep(bench_rng):
+    """``n_Q -> (serial_seconds, batched_seconds)`` at 64 cells."""
+    timings = {}
+    for n_states in SWEEP_STATES:
+        problems = build_cells(bench_rng, 64, n_states)
+        serial, _ = best_of(3, lambda: [solve(problem, method="exact")
+                                        for problem in problems])
+        batched, _ = best_of(3, lambda: solve_many(problems,
+                                                   method="exact"))
+        timings[n_states] = (serial, batched)
+    return timings
+
+
+def test_record_results(measurements, sweep):
+    from _results import RESULTS_DIR, save_result
+
+    cells_per_sec = {name: N_CELLS / seconds
+                     for name, (seconds, _) in measurements.items()}
+    serial, _ = measurements["serial"]
+    batched, _ = measurements["batched"]
+    lines = [
+        "Batched execution engine — one shared-grid design batch "
+        f"({N_CELLS} cells, n_Q = {N_STATES}, 1-D metric cost), "
+        "best of 3 runs",
+        "",
+    ]
+    for name, (seconds, _) in measurements.items():
+        suffix = ""
+        if name in ("thread", "process"):
+            suffix = (f"  ({N_WORKERS} workers, executor fallback on an "
+                      "ad-hoc kernel-less solver)")
+        lines.append(f"  {name:<8}: {seconds * 1e3:8.2f} ms   "
+                     f"{cells_per_sec[name]:10.0f} cells/s{suffix}")
+    lines += [
+        "",
+        f"  batched vs serial per-cell loop: {serial / batched:.1f}x "
+        f"(acceptance floor {MIN_BATCHED_SPEEDUP}x)",
+        "  all four paths bit-identical (plans and values).",
+        "",
+        "  grid-size sweep (64 cells; the win is per-cell overhead, so",
+        "  it shrinks as dense-plan memory traffic dominates at large",
+        "  n_Q — the regime already served by multiscale + CSR plans):",
+    ]
+    for n_states, (sweep_serial, sweep_batched) in sweep.items():
+        lines.append(f"    n_Q = {n_states:4d}: serial "
+                     f"{sweep_serial * 1e3:7.2f} ms   batched "
+                     f"{sweep_batched * 1e3:7.2f} ms   "
+                     f"({sweep_serial / sweep_batched:.1f}x)")
+    save_result("batched", "\n".join(lines))
+
+    payload = {
+        "n_cells": N_CELLS,
+        "n_states": N_STATES,
+        "n_workers": N_WORKERS,
+        "wall_seconds": {name: seconds
+                         for name, (seconds, _) in measurements.items()},
+        "cells_per_sec": cells_per_sec,
+        "speedup_batched_vs_serial": serial / batched,
+        "sweep": {str(n_states): {"serial_seconds": sweep_serial,
+                                  "batched_seconds": sweep_batched,
+                                  "speedup": sweep_serial / sweep_batched}
+                  for n_states, (sweep_serial, sweep_batched)
+                  in sweep.items()},
+    }
+    (RESULTS_DIR / "BENCH_batched.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n")

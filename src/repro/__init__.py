@@ -73,8 +73,8 @@ from .exceptions import (ConvergenceError, DataError, InfeasibleProblemError,
                          ValidationError)
 from .metrics import (conditional_dependence_energy, disparate_impact,
                       conditional_disparate_impact, symmetric_kl)
-from .ot import (OTProblem, OTResult, Solver, available_solvers,
-                 register_solver, solve)
+from .ot import (OTBatch, OTProblem, OTResult, Solver, available_solvers,
+                 register_batch_solver, register_solver, solve, solve_many)
 
 __version__ = "1.0.0"
 
@@ -92,6 +92,7 @@ __all__ = [
     "InfeasibleProblemError",
     "LogisticRegression",
     "NotFittedError",
+    "OTBatch",
     "OTProblem",
     "OTResult",
     "PartialRepairer",
@@ -114,12 +115,14 @@ __all__ = [
     "load_adult_csv",
     "load_plan",
     "paper_simulation_spec",
+    "register_batch_solver",
     "register_solver",
     "save_plan",
     "repair_damage",
     "repair_dataset",
     "simulate_paper_data",
     "solve",
+    "solve_many",
     "symmetric_kl",
     "synthesize_adult",
 ]

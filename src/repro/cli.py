@@ -136,9 +136,17 @@ def build_parser() -> argparse.ArgumentParser:
     design.add_argument("--marginal-estimator", default="kde",
                         choices=("kde", "linear"))
     design.add_argument("--n-jobs", type=int, default=None,
-                        help="fan the independent (u, k) design cells "
-                             "across this many worker processes "
-                             "(default: serial)")
+                        help="worker budget for the design's execution "
+                             "engine (default: serial)")
+    design.add_argument("--executor", default="auto",
+                        choices=("auto", "serial", "thread", "process"),
+                        help="execution strategy for the non-vectorised "
+                             "design work: thread suits BLAS/LP-bound "
+                             "solvers (screened, multiscale, lp), "
+                             "process is the historical --n-jobs "
+                             "fan-out; auto picks per solver. Batch-"
+                             "kernel solvers (exact) vectorise same-"
+                             "grid cells regardless of the strategy")
     design.add_argument("--sparse-plans", action="store_true",
                         help="store transport plans CSR-sparse; cuts the "
                              "plan archive roughly n_Q-fold for screened/"
@@ -249,14 +257,17 @@ def _run_design(args) -> int:
         n_states=args.n_states, t=args.t, solver=args.solver,
         solver_opts=solver_opts,
         marginal_estimator=args.marginal_estimator, n_jobs=args.n_jobs,
-        sparse_plans=args.sparse_plans)
+        executor=args.executor, sparse_plans=args.sparse_plans)
     repairer.fit(research)
     written = save_plan(repairer.plan, args.plan_file,
                         compress=args.compress)
-    n_sparse = repairer.plan.metadata.get("n_sparse_transports", 0)
+    metadata = repairer.plan.metadata
+    n_sparse = metadata.get("n_sparse_transports", 0)
     print(f"designed {len(repairer.plan.feature_plans)} feature plans "
-          f"({n_sparse} sparse transports) on {len(research)} research "
-          f"rows -> {written}")
+          f"({n_sparse} sparse transports, "
+          f"{metadata.get('n_batched_solves', 0)} batched solves, "
+          f"executor {metadata.get('executor', 'serial')}) on "
+          f"{len(research)} research rows -> {written}")
     return 0
 
 

@@ -3,6 +3,8 @@ baselines."""
 
 from .design import SOLVERS, design_feature_plan, design_repair
 from .diagnostics import CellDiagnostic, DriftMonitor, DriftReport
+from .executor import (EXECUTOR_NAMES, Executor, ProcessExecutor,
+                       SerialExecutor, ThreadExecutor, resolve_executor)
 from .geometric import (GeometricRepairer, geometric_repair_1d,
                         geometric_repair_multivariate)
 from .joint import (JointDistributionalRepairer, JointFeaturePlan,
@@ -17,11 +19,13 @@ from .repair import (DistributionalRepairer, repair_dataset,
                      repair_feature_values)
 
 __all__ = [
+    "EXECUTOR_NAMES",
     "SOLVERS",
     "CellDiagnostic",
     "DistributionalRepairer",
     "DriftMonitor",
     "DriftReport",
+    "Executor",
     "FeaturePlan",
     "GaussianClassConditional",
     "GeometricRepairer",
@@ -31,10 +35,13 @@ __all__ = [
     "MongeFeatureMap",
     "MongeRepairer",
     "PartialRepairer",
+    "ProcessExecutor",
     "RepairPipeline",
     "RepairPlan",
     "RepairReport",
+    "SerialExecutor",
     "SubgroupLabelModel",
+    "ThreadExecutor",
     "dampen_repair",
     "design_feature_plan",
     "design_joint_repair",
@@ -44,6 +51,7 @@ __all__ = [
     "geometric_repair_multivariate",
     "load_plan",
     "repair_damage",
+    "resolve_executor",
     "save_plan",
     "repair_dataset",
     "repair_feature_values",

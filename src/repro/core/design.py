@@ -11,22 +11,30 @@ For every ``(u, s, k)``:
 4. solve the Kantorovich problem ``π*_{u,s,k}`` from each marginal to the
    target with squared-Euclidean cost (Eq. 13).
 
-Every plan solve goes through the unified :func:`repro.ot.solve` facade,
-so ``solver`` accepts anything the registry resolves: a registered name
+The design is **batched**: every ``(u, s, k)`` cell is an independent 1-D
+OT problem, so the whole design is one
+:class:`~repro.ot.problem.OTBatch` handed to
+:func:`repro.ot.solve.solve_many` — solvers with a vectorised batch
+kernel (the default ``"exact"`` monotone coupling) solve all same-grid
+cells in a single NumPy dispatch, and everything else is fanned over the
+pluggable execution engine (:mod:`repro.core.executor`): ``executor=``
+takes ``"serial"``, ``"thread"`` (BLAS/LP-bound solvers), ``"process"``
+(the historical ``n_jobs`` semantics) or ``"auto"``.  Every strategy is
+bit-identical to the serial loop; only wall time changes.
+
+``solver`` accepts anything the registry resolves: a registered name
 (``"exact"``, ``"simplex"``, ``"lp"``, ``"sinkhorn"``, ``"sinkhorn_log"``,
-``"screened"``, ``"auto"``), a bare callable, or a
+``"screened"``, ``"multiscale"``, ``"auto"``), a bare callable, or a
 :class:`~repro.ot.registry.Solver` instance.  Because each problem is
 one-dimensional with a shared, sorted support, the default ``"exact"``
 monotone coupling is optimal in ``O(n_Q)``; the other solvers exist for
-ablations, verification, and (``"screened"``) fast large-grid designs.
-The per-``(u, s, k)`` :class:`~repro.ot.problem.OTResult` diagnostics
-(convergence, residuals, wall time) are recorded on each
+ablations, verification, and fast large-grid designs.  The per-cell
+:class:`~repro.ot.problem.OTResult` diagnostics (convergence, residuals,
+wall time, batching) are recorded on each
 :class:`~repro.core.plan.FeaturePlan`.
 """
 
 from __future__ import annotations
-
-from concurrent.futures import ProcessPoolExecutor
 
 import numpy as np
 
@@ -37,9 +45,10 @@ from ..density.kde import interpolate_pmf
 from ..exceptions import ValidationError
 from ..ot.barycenter import barycenter_1d, project_onto_grid
 from ..ot.coupling import SPARSE_DENSITY_THRESHOLD, TransportPlan
-from ..ot.problem import OTProblem, OTResult
+from ..ot.problem import OTBatch, OTProblem
 from ..ot.registry import Solver, filter_opts, resolve_solver
-from ..ot.solve import solve
+from ..ot.solve import solve_many
+from .executor import resolve_executor
 from .plan import FeaturePlan, RepairPlan
 
 __all__ = ["design_repair", "design_feature_plan", "SOLVERS"]
@@ -102,9 +111,8 @@ def design_feature_plan(samples_by_s: dict, n_states: int, *, t: float = 0.5,
         ``epsilon`` (e.g. ``{"coarsen": 4, "radius": 2}`` for
         ``"multiscale"``, ``{"k": 32}`` for ``"screened"``).  Options
         the resolved solver's signature does not accept are dropped —
-        the same signature filtering that lets ``"auto"`` dispatch carry
-        entropic knobs safely (see
-        :func:`~repro.ot.registry.filter_opts`).
+        computed **once per cell batch** via
+        :func:`~repro.ot.registry.filter_opts`, never per solve.
     sparse_plans:
         Plan-storage policy: ``False`` (default — keep whatever storage
         the solver produced; the screened hybrid already returns CSR),
@@ -115,55 +123,19 @@ def design_feature_plan(samples_by_s: dict, n_states: int, *, t: float = 0.5,
         ``"exact"`` solver).
     """
     sparse_plans = _check_sparse_mode(sparse_plans)
-    if set(samples_by_s) != {0, 1}:
-        raise ValidationError(
-            f"samples_by_s must contain both s=0 and s=1, got "
-            f"{sorted(samples_by_s)}")
     resolved = resolve_solver(solver)
     t = check_probability(t, name="t")
     n_states = check_positive_int(n_states, name="n_states", minimum=2)
-
-    samples = {s: np.asarray(values, dtype=float).ravel()
-               for s, values in samples_by_s.items()}
-    for s, values in samples.items():
-        if values.size < _MIN_GROUP_SIZE:
-            raise ValidationError(
-                f"subgroup s={s} has no research points; a repair cannot "
-                "be designed for it")
-
-    if marginal_estimator not in ("kde", "linear"):
-        raise ValidationError(
-            f"unknown marginal_estimator {marginal_estimator!r}; expected "
-            "'kde' or 'linear'")
-    combined = np.concatenate([samples[0], samples[1]])
-    grid = InterpolationGrid.from_samples(combined, n_states,
-                                          padding=padding)
-    if marginal_estimator == "kde":
-        marginals = {
-            s: interpolate_pmf(values, grid.nodes,
-                               bandwidth_method=bandwidth_method)
-            for s, values in samples.items()
-        }
-    else:
-        uniform = {s: np.full(values.size, 1.0 / values.size)
-                   for s, values in samples.items()}
-        marginals = {
-            s: project_onto_grid(values, uniform[s], grid.nodes)
-            for s, values in samples.items()
-        }
-    target = barycenter_1d(grid.nodes, marginals[0], grid.nodes,
-                           marginals[1], grid.nodes, t=t)
-    results = {
-        s: _solve_plan(grid.nodes, marginals[s], target, resolved, epsilon,
-                       solver_opts)
-        for s in (0, 1)
-    }
-    transports = {s: _select_storage(r.plan, sparse_plans)
-                  for s, r in results.items()}
-    return FeaturePlan(grid=grid, marginals=marginals, barycenter=target,
-                       transports=transports,
-                       diagnostics={s: r.summary()
-                                    for s, r in results.items()})
+    grid, marginals, target = _prepare_cell(
+        samples_by_s, n_states, t=t,
+        marginal_estimator=marginal_estimator,
+        bandwidth_method=bandwidth_method, padding=padding)
+    opts = _cell_solver_opts(resolved, epsilon, solver_opts)
+    results = solve_many(_cell_problems(grid, marginals, target),
+                         method=resolved, **opts)
+    return _assemble_feature_plan(grid, marginals, target,
+                                  {s: results[s] for s in (0, 1)},
+                                  sparse_plans)
 
 
 def design_repair(research: FairnessDataset, n_states=50, *, t: float = 0.5,
@@ -173,8 +145,16 @@ def design_repair(research: FairnessDataset, n_states=50, *, t: float = 0.5,
                   padding: float = 0.0, epsilon: float = 5e-3,
                   solver_opts: dict | None = None,
                   n_jobs: int | None = None,
+                  executor=None,
                   sparse_plans=False) -> RepairPlan:
     """Algorithm 1 over every ``(u, k)`` cell of the research data.
+
+    The whole design is *batched*: per-cell marginal interpolation is
+    fanned over the execution engine, then every ``(u, s, k)`` plan
+    problem goes through one :func:`repro.ot.solve.solve_many` call —
+    batch-kernel solvers (the default ``"exact"``) solve all same-grid
+    cells in a single vectorised dispatch, the rest fan over the same
+    engine.
 
     Parameters
     ----------
@@ -187,17 +167,25 @@ def design_repair(research: FairnessDataset, n_states=50, *, t: float = 0.5,
         Any registry-resolvable solver spec (see
         :func:`design_feature_plan`).
     solver_opts:
-        Extra solver keyword options, signature-filtered per solver (see
-        :func:`design_feature_plan`); must be picklable when combined
-        with ``n_jobs``.
+        Extra solver keyword options, signature-filtered once per batch
+        (see :func:`design_feature_plan`); must be picklable when
+        combined with the process executor.
     n_jobs:
-        ``None`` or ``1`` designs the cells serially (default).  ``>= 2``
-        fans the ``(u, k)`` cells across a process pool of that many
-        workers — the cells are independent per the paper's
-        stratification, and the per-cell computation is deterministic, so
-        the parallel result is identical to the serial one (plans bitwise,
-        diagnostics up to wall time).  Requires a picklable ``solver``
-        spec (any registered name qualifies).
+        Worker budget of the execution engine.  Under the default
+        ``executor`` (``None``/``"auto"``), ``None`` or ``1`` keeps
+        everything serial and ``>= 2`` parallelises the independent
+        cells; an explicitly named pool strategy without ``n_jobs``
+        defaults to the machine's CPU count (the budget actually used
+        is recorded in ``metadata["n_jobs"]``).  The per-cell
+        computation is deterministic, so every strategy is identical to
+        the serial design (plans bitwise, diagnostics up to wall time).
+    executor:
+        Execution strategy for the non-vectorised work: ``"serial"``,
+        ``"thread"`` (BLAS/scipy-LP-bound solvers), ``"process"`` (the
+        historical ``n_jobs`` fan-out; requires picklable solver specs),
+        ``"auto"``/``None`` (serial for ``n_jobs`` ≤ 1, else thread or
+        process depending on the solver), or any ready-made object with
+        ``map(fn, iterable)`` — see :mod:`repro.core.executor`.
     sparse_plans:
         Plan-storage policy forwarded to :func:`design_feature_plan`:
         ``False`` / ``True`` / ``"auto"``.
@@ -205,19 +193,17 @@ def design_repair(research: FairnessDataset, n_states=50, *, t: float = 0.5,
     Returns
     -------
     RepairPlan
-        Every ``π*_{u,s,k}`` plus supports, design metadata, and the
-        per-cell :class:`~repro.ot.problem.OTResult` diagnostics.
+        Every ``π*_{u,s,k}`` plus supports, design metadata (including
+        the executor strategy and batched-solve tally), and the per-cell
+        :class:`~repro.ot.problem.OTResult` diagnostics.
     """
     resolved = resolve_solver(solver)
     sparse_plans = _check_sparse_mode(sparse_plans)
+    t = check_probability(t, name="t")
     if n_jobs is not None:
         n_jobs = check_positive_int(n_jobs, name="n_jobs")
-    cell_kwargs = {"t": t, "solver": resolved,
-                   "marginal_estimator": marginal_estimator,
-                   "bandwidth_method": bandwidth_method,
-                   "padding": padding, "epsilon": epsilon,
-                   "solver_opts": dict(solver_opts or {}),
-                   "sparse_plans": sparse_plans}
+    engine = resolve_executor(executor, n_jobs=n_jobs, solver=resolved)
+
     jobs = []
     for u in research.u_values:
         group = research.group(int(u))
@@ -233,18 +219,32 @@ def design_repair(research: FairnessDataset, n_states=50, *, t: float = 0.5,
             }
             jobs.append(((int(u), k), samples_by_s, cell_states))
 
-    if n_jobs is None or n_jobs == 1:
-        feature_plans = {
-            key: design_feature_plan(samples_by_s, cell_states,
-                                     **cell_kwargs)
-            for key, samples_by_s, cell_states in jobs
-        }
-    else:
-        payloads = [(key, samples_by_s, cell_states, cell_kwargs)
-                    for key, samples_by_s, cell_states in jobs]
-        with ProcessPoolExecutor(max_workers=min(n_jobs,
-                                                 len(payloads))) as pool:
-            feature_plans = dict(pool.map(_design_cell_worker, payloads))
+    # Phase 1 — marginal interpolation per cell (grid, KDE, barycentre),
+    # fanned over the engine: deterministic and independent, so any
+    # strategy reproduces the serial result exactly.
+    prep_kwargs = {"t": t, "marginal_estimator": marginal_estimator,
+                   "bandwidth_method": bandwidth_method, "padding": padding}
+    preparations = engine.map(
+        _prepare_cell_worker,
+        [(samples_by_s, cell_states, prep_kwargs)
+         for _, samples_by_s, cell_states in jobs])
+
+    # Phase 2 — one OT batch over every (u, s, k) problem.  Solver
+    # options are signature-filtered here, once for the whole batch.
+    problems = []
+    for grid, marginals, target in preparations:
+        problems.extend(_cell_problems(grid, marginals, target))
+    opts = _cell_solver_opts(resolved, epsilon, solver_opts)
+    results = solve_many(OTBatch(tuple(problems)), method=resolved,
+                         executor=engine, **opts)
+
+    # Phase 3 — assemble the per-cell plans and the design record.
+    feature_plans = {}
+    for index, ((key, _, _), (grid, marginals, target)) \
+            in enumerate(zip(jobs, preparations)):
+        cell_results = {s: results[2 * index + s] for s in (0, 1)}
+        feature_plans[key] = _assemble_feature_plan(
+            grid, marginals, target, cell_results, sparse_plans)
 
     ot_wall_time = 0.0
     n_unconverged = 0
@@ -267,7 +267,14 @@ def design_repair(research: FairnessDataset, n_states=50, *, t: float = 0.5,
         "group_sizes": research.group_sizes(),
         "ot_wall_time": ot_wall_time,
         "n_unconverged": n_unconverged,
-        "n_jobs": 1 if n_jobs is None else int(n_jobs),
+        # The engine's actual worker budget: an explicit pool strategy
+        # without n_jobs defaults to the machine's CPU count, and the
+        # provenance record must say what really ran.
+        "n_jobs": int(getattr(engine, "n_jobs",
+                              1 if n_jobs is None else n_jobs)),
+        "executor": getattr(engine, "name", type(engine).__name__),
+        "n_batched_solves": sum(
+            1 for result in results if result.extras.get("batched")),
         "sparse_plans": sparse_plans,
         "n_sparse_transports": sum(
             int(plan.is_sparse) for feature_plan in feature_plans.values()
@@ -280,15 +287,88 @@ def design_repair(research: FairnessDataset, n_states=50, *, t: float = 0.5,
                       metadata=metadata)
 
 
-def _design_cell_worker(payload):
-    """Design one ``(u, k)`` cell in a pool worker process.
+# -- the per-cell pipeline stages ---------------------------------------------
 
-    Module-level (not a closure) so it pickles; the deterministic per-cell
-    computation makes the fan-out result identical to the serial loop.
+
+def _prepare_cell(samples_by_s: dict, n_states: int, *, t: float,
+                  marginal_estimator: str, bandwidth_method: str,
+                  padding: float):
+    """Interpolation stage of one cell: ``(grid, marginals, target)``."""
+    if set(samples_by_s) != {0, 1}:
+        raise ValidationError(
+            f"samples_by_s must contain both s=0 and s=1, got "
+            f"{sorted(samples_by_s)}")
+    samples = {s: np.asarray(values, dtype=float).ravel()
+               for s, values in samples_by_s.items()}
+    for s, values in samples.items():
+        if values.size < _MIN_GROUP_SIZE:
+            raise ValidationError(
+                f"subgroup s={s} has no research points; a repair cannot "
+                "be designed for it")
+    if marginal_estimator not in ("kde", "linear"):
+        raise ValidationError(
+            f"unknown marginal_estimator {marginal_estimator!r}; expected "
+            "'kde' or 'linear'")
+    combined = np.concatenate([samples[0], samples[1]])
+    grid = InterpolationGrid.from_samples(combined, n_states,
+                                          padding=padding)
+    if marginal_estimator == "kde":
+        marginals = {
+            s: interpolate_pmf(values, grid.nodes,
+                               bandwidth_method=bandwidth_method)
+            for s, values in samples.items()
+        }
+    else:
+        uniform = {s: np.full(values.size, 1.0 / values.size)
+                   for s, values in samples.items()}
+        marginals = {
+            s: project_onto_grid(values, uniform[s], grid.nodes)
+            for s, values in samples.items()
+        }
+    target = barycenter_1d(grid.nodes, marginals[0], grid.nodes,
+                           marginals[1], grid.nodes, t=t)
+    return grid, marginals, target
+
+
+def _prepare_cell_worker(payload):
+    """Run :func:`_prepare_cell` from an executor ``map`` (module-level
+    so process pools can pickle it)."""
+    samples_by_s, n_states, prep_kwargs = payload
+    return _prepare_cell(samples_by_s, n_states, **prep_kwargs)
+
+
+def _cell_problems(grid: InterpolationGrid, marginals: dict,
+                   target: np.ndarray) -> list:
+    """The cell's two Kantorovich problems (s = 0, 1), Eq. 13."""
+    return [OTProblem(source_weights=marginals[s], target_weights=target,
+                      source_support=grid.nodes, target_support=grid.nodes,
+                      p=2)
+            for s in (0, 1)]
+
+
+def _cell_solver_opts(solver: Solver, epsilon: float,
+                      solver_opts: dict | None) -> dict:
+    """The design's tuning knobs, signature-filtered once per batch.
+
+    Offered to whichever solver runs — entropic solvers pick up
+    ``epsilon``/``tol``, exact solvers see neither.  Explicit
+    ``solver_opts`` are offered last so they win over the defaults.
+    ``"auto"`` takes every candidate here and re-filters per dispatch
+    group inside :func:`~repro.ot.solve.solve_many`.
     """
-    key, samples_by_s, cell_states, cell_kwargs = payload
-    return key, design_feature_plan(samples_by_s, cell_states,
-                                    **cell_kwargs)
+    candidates = {"epsilon": epsilon, "tol": 1e-10, **(solver_opts or {})}
+    return filter_opts(solver, candidates)
+
+
+def _assemble_feature_plan(grid, marginals, target, results: dict,
+                           sparse_plans) -> FeaturePlan:
+    """Wrap one cell's solved problems into a :class:`FeaturePlan`."""
+    transports = {s: _select_storage(result.plan, sparse_plans)
+                  for s, result in results.items()}
+    return FeaturePlan(grid=grid, marginals=marginals, barycenter=target,
+                       transports=transports,
+                       diagnostics={s: result.summary()
+                                    for s, result in results.items()})
 
 
 def _check_sparse_mode(sparse_plans):
@@ -326,19 +406,3 @@ def _resolve_states(n_states, u: int, k: int) -> int:
             raise ValidationError(
                 f"n_states mapping is missing cell (u={u}, k={k})") from None
     return check_positive_int(n_states, name="n_states", minimum=2)
-
-
-def _solve_plan(nodes: np.ndarray, marginal: np.ndarray,
-                target: np.ndarray, solver: Solver,
-                epsilon: float, solver_opts: dict | None = None) -> OTResult:
-    """Solve ``π*`` from an interpolated marginal to the barycentric target
-    through the unified facade."""
-    problem = OTProblem(source_weights=marginal, target_weights=target,
-                        source_support=nodes, target_support=nodes, p=2)
-    # Offer the design's tuning knobs to whichever solver runs —
-    # signature filtering delivers epsilon/tol only to solvers (built-in
-    # or user-registered) that declare them or take **kwargs.  Explicit
-    # solver_opts are offered last so they win over the defaults.
-    candidates = {"epsilon": epsilon, "tol": 1e-10, **(solver_opts or {})}
-    opts = filter_opts(solver, candidates)
-    return solve(problem, method=solver, **opts)

@@ -38,9 +38,10 @@ from ..exceptions import NotFittedError, ValidationError
 from ..ot.barycenter import sinkhorn_barycenter
 from ..ot.cost import squared_euclidean_cost
 from ..ot.coupling import conditional_cumulative, sample_conditional_rows
-from ..ot.problem import OTProblem
+from ..ot.problem import OTBatch, OTProblem
 from ..ot.registry import filter_opts, resolve_solver
-from ..ot.solve import solve
+from ..ot.solve import solve_many
+from .executor import resolve_executor
 
 __all__ = ["JointFeaturePlan", "JointRepairPlan", "design_joint_repair",
            "JointDistributionalRepairer"]
@@ -151,7 +152,9 @@ def design_joint_repair(research: FairnessDataset, n_states: int = 15, *,
                         bandwidth_method: str = "silverman",
                         padding: float = 0.0,
                         max_iter: int = 20_000,
-                        solver="sinkhorn") -> JointRepairPlan:
+                        solver="sinkhorn",
+                        n_jobs: int | None = None,
+                        executor=None) -> JointRepairPlan:
     """Design the joint repair on a product grid, per ``u`` group.
 
     ``solver`` is any registry-resolvable spec for the plan solves; the
@@ -159,10 +162,23 @@ def design_joint_repair(research: FairnessDataset, n_states: int = 15, *,
     multi-dimensional, so the 1-D ``"exact"`` solver is not applicable —
     ``"sinkhorn"`` (default) and ``"screened"`` are the practical
     choices.
+
+    Like the per-feature design, the plan solves are batched: each
+    group's ``(u, s)`` problem pair goes through one
+    :func:`repro.ot.solve.solve_many` call, with ``executor=`` /
+    ``n_jobs`` fanning the (non-batchable, entropic) solves over the
+    execution engine — worthwhile because each product-grid solve is
+    dense ``O(N²)`` work (see :mod:`repro.core.executor`).  Batching is
+    per group, not across groups: the product-grid cost matrices are
+    ``O(N²)`` apiece, so each group's cost and plans are released
+    before the next group is designed.
     """
     resolved = resolve_solver(solver)
     n_states = check_positive_int(n_states, name="n_states", minimum=2)
     t = check_probability(t, name="t")
+    if n_jobs is not None:
+        n_jobs = check_positive_int(n_jobs, name="n_jobs")
+    engine = resolve_executor(executor, n_jobs=n_jobs, solver=resolved)
     d = research.n_features
     if n_states ** d > _MAX_STATES:
         raise ValidationError(
@@ -170,6 +186,13 @@ def design_joint_repair(research: FairnessDataset, n_states: int = 15, *,
             f"(> {_MAX_STATES}); reduce n_states or the feature count, "
             "or use the per-feature DistributionalRepairer")
 
+    # Options are signature-filtered once for every group's batch:
+    # sinkhorn takes epsilon/max_iter/tol, screened maps the iteration
+    # budget to its screening phase, exact solvers receive none.
+    opts = filter_opts(resolved, {"epsilon": epsilon,
+                                  "max_iter": max_iter,
+                                  "screen_max_iter": max_iter,
+                                  "tol": 1e-9})
     group_plans = {}
     ot_diagnostics: dict = {}
     for u in research.u_values:
@@ -193,17 +216,16 @@ def design_joint_repair(research: FairnessDataset, n_states: int = 15, *,
                                      weights=[1.0 - t, t],
                                      epsilon=epsilon, max_iter=max_iter,
                                      tol=1e-9)
+        # One solve_many over the group's (s = 0, 1) pair — the two
+        # problems share the group's cost matrix and fan over the
+        # engine; the cost and plans are dropped before the next group.
+        results = solve_many(
+            OTBatch(tuple(OTProblem.from_cost(cost, marginals[s], target)
+                          for s in (0, 1))),
+            method=resolved, executor=engine, **opts)
         conditionals = {}
         for s in (0, 1):
-            problem = OTProblem.from_cost(cost, marginals[s], target)
-            # Signature-filtered: sinkhorn takes epsilon/max_iter/tol,
-            # screened maps the iteration budget to its screening phase,
-            # and exact solvers receive none of these.
-            opts = filter_opts(resolved, {"epsilon": epsilon,
-                                          "max_iter": max_iter,
-                                          "screen_max_iter": max_iter,
-                                          "tol": 1e-9})
-            result = solve(problem, method=resolved, **opts)
+            result = results[s]
             ot_diagnostics.setdefault(int(u), {})[s] = result.summary()
             # Row-normalise through TransportPlan: vectorised, zero rows
             # fall back to a nearest-target point mass, and CSR plans
@@ -217,6 +239,7 @@ def design_joint_repair(research: FairnessDataset, n_states: int = 15, *,
                 "bandwidth_method": bandwidth_method,
                 "n_research": len(research),
                 "solver": resolved.name,
+                "executor": getattr(engine, "name", type(engine).__name__),
                 "ot": ot_diagnostics}
     return JointRepairPlan(group_plans=group_plans, n_features=d, t=t,
                            metadata=metadata)
@@ -228,13 +251,16 @@ class JointDistributionalRepairer:
     Parameters mirror :class:`~repro.core.repair.DistributionalRepairer`
     where applicable; ``solver`` takes any registry-resolvable spec
     suitable for multi-dimensional problems (``"sinkhorn"`` default,
-    ``"screened"`` for an exact-on-sparse-support alternative).
+    ``"screened"`` for an exact-on-sparse-support alternative), and
+    ``executor`` / ``n_jobs`` fan the batched ``(u, s)`` plan solves
+    over the execution engine (see :func:`design_joint_repair`).
     """
 
     def __init__(self, n_states: int = 15, *, t: float = 0.5,
                  epsilon: float = 5e-3,
                  bandwidth_method: str = "silverman",
                  padding: float = 0.0, solver="sinkhorn",
+                 n_jobs: int | None = None, executor=None,
                  rng=None) -> None:
         resolve_solver(solver)  # fail fast on typos
         self.n_states = n_states
@@ -243,6 +269,8 @@ class JointDistributionalRepairer:
         self.bandwidth_method = bandwidth_method
         self.padding = padding
         self.solver = solver
+        self.n_jobs = n_jobs
+        self.executor = executor
         self._rng = as_rng(rng)
         self._plan: JointRepairPlan | None = None
 
@@ -261,7 +289,8 @@ class JointDistributionalRepairer:
         self._plan = design_joint_repair(
             research, self.n_states, t=self.t, epsilon=self.epsilon,
             bandwidth_method=self.bandwidth_method, padding=self.padding,
-            solver=self.solver)
+            solver=self.solver, n_jobs=self.n_jobs,
+            executor=self.executor)
         return self
 
     def transform(self, dataset: FairnessDataset, *,

@@ -87,21 +87,25 @@ class FeaturePlan:
         """Row-wise CDFs of ``π*_{·,s}`` as a dense array.
 
         Row ``q`` is the cumulative distribution of the repaired state given
-        source state ``q``.  The array is computed once per ``s`` and
-        cached, so callers must treat it as read-only and copy before
-        mutating.  For CSR-backed transports this *densifies* — it is a
-        convenience/inspection view; the Algorithm-2 hot path goes through
-        :meth:`sample_targets`, which stays sparse.
+        source state ``q``.  For densely stored transports the array is
+        computed once per ``s`` and cached (callers must treat it as
+        read-only and copy before mutating) — it *is* the Algorithm-2
+        sampling table.  For CSR-backed transports it is an
+        inspection-only view: densified on demand and **never cached**,
+        so a sparse plan's ``O(n_Q²)`` CDF table is not held in memory —
+        the Algorithm-2 hot path goes through :meth:`sample_targets`,
+        which samples on the sparse conditional structure directly.
         """
         if s not in self.transports:
             raise ValidationError(
                 f"no transport plan for s={s}; have {self.s_values}")
+        if self.transports[s].is_sparse:
+            conditionals = self.transports[s].conditional_matrix()
+            return np.cumsum(conditionals.toarray(), axis=1)
         cache = getattr(self, "_cdf_cache")
         key = ("cdf", s)
         if key not in cache:
             conditionals = self.transports[s].conditional_matrix()
-            if self.transports[s].is_sparse:
-                conditionals = conditionals.toarray()
             cache[key] = np.cumsum(conditionals, axis=1)
         return cache[key]
 

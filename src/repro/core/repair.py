@@ -163,9 +163,17 @@ class DistributionalRepairer:
         Algorithm-2 randomisation controls (see
         :func:`repair_feature_values`).
     n_jobs:
-        Fan the independent ``(u, k)`` design cells of Algorithm 1 across
-        a process pool (see :func:`~repro.core.design.design_repair`);
-        ``None``/1 designs serially.
+        Worker budget of the Algorithm-1 execution engine (see
+        :func:`~repro.core.design.design_repair`); ``None``/1 designs
+        serially.
+    executor:
+        Execution strategy for the design's non-vectorised work:
+        ``"serial"``, ``"thread"``, ``"process"``, ``"auto"``/``None``,
+        or any object with ``map(fn, iterable)`` — see
+        :mod:`repro.core.executor`.  Batch-kernel solvers (the default
+        ``"exact"``) solve all same-grid cells in one vectorised
+        dispatch regardless of the strategy; every strategy is
+        bit-identical to the serial design.
     sparse_plans:
         Plan-storage policy: ``False`` (keep whatever the solver
         produced), ``True`` (force CSR), or ``"auto"`` (CSR when the plan
@@ -182,8 +190,8 @@ class DistributionalRepairer:
                  padding: float = 0.0, epsilon: float = 5e-3,
                  solver_opts: dict | None = None,
                  rounding: str = "stochastic", output: str = "sample",
-                 n_jobs: int | None = None, sparse_plans=False,
-                 rng=None) -> None:
+                 n_jobs: int | None = None, executor=None,
+                 sparse_plans=False, rng=None) -> None:
         if rounding not in ROUNDING_MODES:
             raise ValidationError(
                 f"unknown rounding {rounding!r}; expected {ROUNDING_MODES}")
@@ -202,6 +210,7 @@ class DistributionalRepairer:
         self.rounding = rounding
         self.output = output
         self.n_jobs = n_jobs
+        self.executor = executor
         self.sparse_plans = sparse_plans
         self._rng = as_rng(rng)
         self._plan: RepairPlan | None = None
@@ -226,7 +235,8 @@ class DistributionalRepairer:
             marginal_estimator=self.marginal_estimator,
             bandwidth_method=self.bandwidth_method, padding=self.padding,
             epsilon=self.epsilon, solver_opts=self.solver_opts,
-            n_jobs=self.n_jobs, sparse_plans=self.sparse_plans)
+            n_jobs=self.n_jobs, executor=self.executor,
+            sparse_plans=self.sparse_plans)
         return self
 
     def transform(self, dataset: FairnessDataset, *,

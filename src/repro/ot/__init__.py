@@ -51,20 +51,22 @@ from .coupling import (TransportPlan, dilate_mask, is_coupling,
 from .lp import solve_transport_lp, transport_lp
 from .multiscale import coarsen_problem, default_coarsen_factor
 from .network_simplex import solve_transport, transport_simplex
-from .onedim import (monotone_map, north_west_corner,
-                     north_west_corner_support, quantile_function,
-                     solve_1d, wasserstein_1d)
-from .problem import OTProblem, OTResult
-from .registry import (Solver, available_solvers, filter_opts,
-                       register_solver, resolve_solver,
-                       solver_descriptions, unregister_solver)
+from .onedim import (batched_north_west_corner, monotone_map,
+                     north_west_corner, north_west_corner_support,
+                     quantile_function, solve_1d, wasserstein_1d)
+from .problem import OTBatch, OTProblem, OTResult
+from .registry import (Solver, available_solvers, batch_support,
+                       filter_opts, register_batch_solver, register_solver,
+                       resolve_solver, solver_descriptions,
+                       unregister_solver)
 from .sinkhorn import SinkhornResult, sinkhorn, sinkhorn_log, solve_sinkhorn
 from .sliced import random_directions, sliced_wasserstein
-from .solve import auto_method, solve
+from .solve import auto_method, solve, solve_many
 from .unbalanced import sinkhorn_unbalanced
 from .wasserstein import wasserstein_distance, wasserstein_sample_distance
 
 __all__ = [
+    "OTBatch",
     "OTProblem",
     "OTResult",
     "SinkhornResult",
@@ -73,6 +75,8 @@ __all__ = [
     "auto_method",
     "available_solvers",
     "barycenter_1d",
+    "batch_support",
+    "batched_north_west_corner",
     "coarsen_problem",
     "cost_matrix",
     "default_coarsen_factor",
@@ -92,6 +96,7 @@ __all__ = [
     "refine_mask",
     "quantile_function",
     "random_directions",
+    "register_batch_solver",
     "register_solver",
     "resolve_solver",
     "sinkhorn",
@@ -101,6 +106,7 @@ __all__ = [
     "sliced_wasserstein",
     "solve",
     "solve_1d",
+    "solve_many",
     "solve_sinkhorn",
     "solve_transport",
     "solve_transport_lp",

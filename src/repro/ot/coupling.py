@@ -282,6 +282,28 @@ class TransportPlan:
                              self.target_support, self.cost)
 
     @classmethod
+    def _trusted(cls, matrix: np.ndarray, source_support: np.ndarray,
+                 target_support: np.ndarray,
+                 cost: float) -> "TransportPlan":
+        """Wrap *pre-validated* ingredients without the ``__post_init__``
+        checks or the defensive clip/copy.
+
+        For internal hot paths only (the batched monotone kernel): the
+        caller guarantees a non-negative float ``(n, m)`` matrix and
+        canonical ``(n, 1)``-shaped float supports.  Field values are
+        identical to what the validated constructor would store — the
+        clip of a non-negative matrix is a value-preserving copy — so
+        trusted and validated plans are interchangeable bitwise.
+        """
+        plan = cls.__new__(cls)
+        object.__setattr__(plan, "matrix", matrix)
+        object.__setattr__(plan, "source_support", source_support)
+        object.__setattr__(plan, "target_support", target_support)
+        object.__setattr__(plan, "cost", cost)
+        object.__setattr__(plan, "_atol", 1e-6)
+        return plan
+
+    @classmethod
     def from_sparse(cls, matrix, source_support, target_support,
                     cost: float = float("nan"), *,
                     shape=None) -> "TransportPlan":

@@ -26,7 +26,7 @@ from .coupling import TransportPlan
 from .coupling import _inner_product as _plan_inner_product
 from .cost import cost_matrix as _build_cost_matrix
 
-__all__ = ["OTProblem", "OTResult", "result_from_matrix"]
+__all__ = ["OTProblem", "OTBatch", "OTResult", "result_from_matrix"]
 
 #: Ground-cost metrics of the ``|x - y|^p`` family: convex in the 1-D
 #: displacement, hence solvable in closed form by the monotone coupling.
@@ -225,6 +225,155 @@ class OTProblem:
                    source_support=source_support,
                    target_support=target_support,
                    support_mask=support_mask)
+
+
+@dataclass(frozen=True)
+class OTBatch:
+    """An ordered collection of :class:`OTProblem` instances.
+
+    This is the unit of work of :func:`repro.ot.solve.solve_many`: many
+    independent Kantorovich problems — in Algorithm 1, one per
+    ``(u, s, k)`` design cell — solved together.  The container itself is
+    storage-light (it holds the problems, not stacked copies); the
+    *stacked views* below materialise ``(B, n)`` / ``(B, m)`` arrays on
+    demand for vectorised batch kernels, and are only available on
+    *uniform* batches (every problem sharing one ``(n, m)`` shape) with
+    1-D supports — the shared-shape fast path.
+
+    >>> import numpy as np
+    >>> cells = [OTProblem(source_weights=[0.5, 0.5],
+    ...                    target_weights=[0.5, 0.5],
+    ...                    source_support=[0.0, 1.0],
+    ...                    target_support=[0.0, float(k)])
+    ...          for k in (1, 2, 3)]
+    >>> batch = OTBatch(cells)
+    >>> len(batch), batch.is_uniform, batch.is_one_dimensional
+    (3, True, True)
+    >>> batch.target_support_stack()[:, 1]
+    array([1., 2., 3.])
+    """
+
+    problems: tuple
+
+    def __post_init__(self) -> None:
+        problems = tuple(self.problems)
+        for i, problem in enumerate(problems):
+            if not isinstance(problem, OTProblem):
+                raise ValidationError(
+                    f"OTBatch entries must be OTProblem instances; entry "
+                    f"{i} is {type(problem).__name__}")
+        object.__setattr__(self, "problems", problems)
+
+    # -- container protocol ------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.problems)
+
+    def __iter__(self):
+        return iter(self.problems)
+
+    def __getitem__(self, index) -> "OTProblem":
+        return self.problems[index]
+
+    def subset(self, indices) -> "OTBatch":
+        """A new batch holding ``problems[i]`` for each ``i`` in order."""
+        return OTBatch(tuple(self.problems[i] for i in indices))
+
+    # -- shape structure ---------------------------------------------------
+
+    @property
+    def shapes(self) -> tuple:
+        """Per-problem ``(n, m)`` plan shapes."""
+        return tuple(problem.shape for problem in self.problems)
+
+    @property
+    def is_uniform(self) -> bool:
+        """True when every problem shares one ``(n, m)`` shape."""
+        return len({problem.shape for problem in self.problems}) <= 1
+
+    @property
+    def shape(self) -> tuple:
+        """The common ``(n, m)`` shape (raises on mixed-shape batches)."""
+        shapes = {problem.shape for problem in self.problems}
+        if len(shapes) != 1:
+            raise ValidationError(
+                f"batch has no common shape (found {sorted(shapes)}); "
+                "check is_uniform before using the stacked fast path")
+        return next(iter(shapes))
+
+    @property
+    def is_one_dimensional(self) -> bool:
+        """True when every problem has 1-D source and target supports."""
+        return all(problem.is_one_dimensional for problem in self.problems)
+
+    # -- stacked views (the shared-shape fast path) ------------------------
+
+    def source_weight_stack(self) -> np.ndarray:
+        """``(B, n)`` stacked source marginals (uniform batches only)."""
+        self.shape  # raises with the actionable message on mixed shapes
+        return np.stack([problem.source_weights
+                         for problem in self.problems])
+
+    def target_weight_stack(self) -> np.ndarray:
+        """``(B, m)`` stacked target marginals (uniform batches only)."""
+        self.shape
+        return np.stack([problem.target_weights
+                         for problem in self.problems])
+
+    def source_support_stack(self) -> np.ndarray:
+        """``(B, n)`` stacked 1-D source supports."""
+        return self._support_stack("source_support")
+
+    def target_support_stack(self) -> np.ndarray:
+        """``(B, m)`` stacked 1-D target supports."""
+        return self._support_stack("target_support")
+
+    def _support_stack(self, attr: str) -> np.ndarray:
+        self.shape
+        if not self.is_one_dimensional:
+            raise ValidationError(
+                f"{attr}_stack needs 1-D supports on every batch problem")
+        return np.stack([getattr(problem, attr).ravel()
+                         for problem in self.problems])
+
+    # -- construction helpers ---------------------------------------------
+
+    @classmethod
+    def from_arrays(cls, source_weights, target_weights, *,
+                    source_support=None, target_support=None,
+                    p: int = 2, cost_fn=None) -> "OTBatch":
+        """Build a uniform batch from stacked ``(B, n)`` / ``(B, m)`` arrays.
+
+        ``source_support`` / ``target_support`` may be shared 1-D arrays
+        (one grid for every problem — the common design-cell layout) or
+        per-problem ``(B, n)`` / ``(B, m)`` stacks.
+        """
+        mu = np.atleast_2d(np.asarray(source_weights, dtype=float))
+        nu = np.atleast_2d(np.asarray(target_weights, dtype=float))
+        if mu.shape[0] != nu.shape[0]:
+            raise ValidationError(
+                f"stacked marginals disagree on the batch size "
+                f"({mu.shape[0]} != {nu.shape[0]})")
+
+        def per_problem(support, size, name):
+            if support is None:
+                return [None] * mu.shape[0]
+            arr = np.asarray(support, dtype=float)
+            if arr.ndim == 1:
+                return [arr] * mu.shape[0]
+            if arr.ndim == 2 and arr.shape == (mu.shape[0], size):
+                return list(arr)
+            raise ValidationError(
+                f"{name} must be a shared (n,) grid or a (B, n) stack; "
+                f"got shape {arr.shape}")
+
+        xs = per_problem(source_support, mu.shape[1], "source_support")
+        ys = per_problem(target_support, nu.shape[1], "target_support")
+        return cls(tuple(
+            OTProblem(source_weights=mu[b], target_weights=nu[b],
+                      source_support=xs[b], target_support=ys[b],
+                      cost_fn=cost_fn, p=p)
+            for b in range(mu.shape[0])))
 
 
 @dataclass(frozen=True)

@@ -37,7 +37,7 @@ from __future__ import annotations
 
 import inspect
 from collections.abc import Callable
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 from scipy import sparse
@@ -45,8 +45,9 @@ from scipy import sparse
 from ..exceptions import ValidationError
 from .coupling import TransportPlan
 
-__all__ = ["Solver", "filter_opts", "register_solver", "unregister_solver",
-           "resolve_solver", "available_solvers", "solver_descriptions"]
+__all__ = ["Solver", "filter_opts", "register_solver",
+           "register_batch_solver", "unregister_solver", "resolve_solver",
+           "available_solvers", "solver_descriptions", "batch_support"]
 
 
 @dataclass(frozen=True)
@@ -66,15 +67,59 @@ class Solver:
         One-line human summary shown by ``repro solvers``.
     aliases:
         Alternative registry keys resolving to this solver.
+    batch_fn:
+        Optional vectorised kernel ``fn(batch: OTBatch, **opts)``
+        returning one result per batch problem — attached with
+        :func:`register_batch_solver`.  ``solve_many`` dispatches a whole
+        same-shape batch to it in one call instead of fanning per-problem
+        solves over an executor.
+    batch_when:
+        Optional predicate ``fn(problem) -> bool`` restricting which
+        problems the batch kernel accepts (e.g. the monotone kernel needs
+        1-D unmasked supports); problems it rejects fall back to the
+        per-problem path.
     """
 
     name: str
     fn: Callable
     description: str = ""
     aliases: tuple = field(default=())
+    batch_fn: Callable | None = field(default=None, compare=False)
+    batch_when: Callable | None = field(default=None, compare=False)
 
     def __call__(self, problem, **opts):
         return coerce_result(self.fn(problem, **opts), problem)
+
+    @property
+    def supports_batch(self) -> bool:
+        """True when a vectorised batch kernel is registered."""
+        return self.batch_fn is not None
+
+    def can_batch(self, problem) -> bool:
+        """True when ``problem`` qualifies for this solver's batch kernel."""
+        if self.batch_fn is None:
+            return False
+        return self.batch_when is None or bool(self.batch_when(problem))
+
+    def solve_batch(self, batch, **opts) -> list:
+        """Run the batch kernel and coerce every outcome to an ``OTResult``.
+
+        The kernel may return any sequence of per-problem outcomes the
+        registry knows how to coerce (``OTResult`` / ``TransportPlan`` /
+        plan matrix), one per problem, in batch order.
+        """
+        if self.batch_fn is None:
+            raise ValidationError(
+                f"solver {self.name!r} has no batch kernel; use solve() "
+                "per problem or the solve_many executor fallback")
+        outcomes = self.batch_fn(batch, **opts)
+        outcomes = list(outcomes)
+        if len(outcomes) != len(batch):
+            raise ValidationError(
+                f"batch kernel of {self.name!r} returned {len(outcomes)} "
+                f"results for {len(batch)} problems")
+        return [coerce_result(outcome, problem)
+                for outcome, problem in zip(outcomes, batch)]
 
 
 #: name (or alias) -> Solver.  Insertion order is the registration order.
@@ -120,6 +165,46 @@ def register_solver(name: str, *, description: str = "",
         return fn
 
     return decorator
+
+
+def register_batch_solver(name: str, *, when: Callable | None = None):
+    """Decorator attaching a vectorised batch kernel to a registered solver.
+
+    The kernel is ``fn(batch: OTBatch, **opts)`` returning one outcome
+    per problem (batch order); ``when`` optionally restricts which
+    problems qualify (others take :func:`~repro.ot.solve.solve_many`'s
+    per-problem fallback).  The solver keeps its name, aliases and
+    description — only the batch capability is added:
+
+    >>> from repro.ot import resolve_solver
+    >>> resolve_solver("exact").supports_batch
+    True
+    >>> resolve_solver("simplex").supports_batch
+    False
+    """
+    if name not in _REGISTRY:
+        raise ValidationError(
+            f"cannot attach a batch kernel to unknown solver {name!r}; "
+            f"register it first (have {available_solvers()})")
+    solver = _REGISTRY[name]
+
+    def decorator(fn: Callable) -> Callable:
+        upgraded = replace(solver, batch_fn=fn, batch_when=when)
+        for key in (solver.name, *solver.aliases):
+            _REGISTRY[key] = upgraded
+        return fn
+
+    return decorator
+
+
+def batch_support() -> dict:
+    """``name -> supports_batch`` for every registered solver.
+
+    The docs solver table's *Batched* column is kept in sync with this
+    mapping by ``tests/test_docs.py``.
+    """
+    return {name: _REGISTRY[name].supports_batch
+            for name in available_solvers()}
 
 
 def unregister_solver(name: str) -> None:

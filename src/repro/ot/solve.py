@@ -61,22 +61,26 @@ True
 from __future__ import annotations
 
 import time
+from dataclasses import replace
 
 import numpy as np
 from scipy import sparse
 
 from ..exceptions import ConvergenceError, ValidationError
-from .coupling import SPARSE_DENSITY_THRESHOLD
+from .cost import pointwise_cost
+from .coupling import (SPARSE_DENSITY_THRESHOLD, TransportPlan,
+                       _inner_product as _plan_inner_product)
 from .lp import _linprog_with_presolve_retry, _lp_matrix
 from .network_simplex import _transport_simplex_core
-from .onedim import north_west_corner
-from .problem import OTProblem, OTResult, result_from_matrix
-from .registry import filter_opts, register_solver, resolve_solver
+from .onedim import batched_north_west_corner, north_west_corner
+from .problem import OTBatch, OTProblem, OTResult, result_from_matrix
+from .registry import (filter_opts, register_batch_solver, register_solver,
+                       resolve_solver)
 from .sinkhorn import sinkhorn as _sinkhorn_impl
 from .sinkhorn import sinkhorn_log as _sinkhorn_log_impl
 
-__all__ = ["solve", "auto_method", "as_problem", "SIMPLEX_AUTO_LIMIT",
-           "LP_AUTO_LIMIT", "MULTISCALE_AUTO_LIMIT"]
+__all__ = ["solve", "solve_many", "auto_method", "as_problem",
+           "SIMPLEX_AUTO_LIMIT", "LP_AUTO_LIMIT", "MULTISCALE_AUTO_LIMIT"]
 
 #: Largest marginal size ``auto`` still hands to the dense simplex.
 SIMPLEX_AUTO_LIMIT = 64
@@ -219,6 +223,137 @@ def solve(problem_or_cost, source_weights=None, target_weights=None, *,
     return result.with_timing(solver.name, time.perf_counter() - start)
 
 
+def solve_many(problems, *, method="auto", executor=None, **opts) -> list:
+    """Solve a batch of independent OT problems through one entry point.
+
+    The batched counterpart of :func:`solve`, and the engine behind
+    Algorithm 1's cell fan-out: one :class:`~repro.ot.problem.OTBatch`
+    (or iterable of problems) in, one list of
+    :class:`~repro.ot.problem.OTResult` out, in batch order, with every
+    result identical (bitwise, up to wall time and the batch-diagnostic
+    extras below) to what a per-problem ``solve(problem, method=...)``
+    loop would produce.
+
+    Dispatch per problem group:
+
+    * solvers that declare a batch kernel
+      (:func:`~repro.ot.registry.register_batch_solver`) receive every
+      qualifying same-shape sub-batch in **one vectorised call** — the
+      shared-shape fast path (the ``"exact"`` monotone kernel solves all
+      same-grid design cells in a single NumPy dispatch);
+    * everything else is fanned over ``executor`` — ``None`` for an
+      in-line serial loop, or any object exposing
+      ``map(fn, iterable) -> results`` (a
+      :mod:`repro.core.executor` executor, or a raw
+      ``concurrent.futures`` pool).  A string (``"serial"``,
+      ``"thread"``, ``"process"``, ``"auto"``) is resolved through
+      :func:`repro.core.executor.resolve_executor`.
+
+    ``method="auto"`` groups the batch by :func:`auto_method`; solver
+    options are signature-filtered **once per group** (not once per
+    problem — the registry's ``inspect.signature`` walk leaves the hot
+    loop).  An explicit method receives ``opts`` verbatim, exactly like
+    :func:`solve`.
+
+    Results produced by a batch kernel additionally carry
+    ``extras["batched"] = True`` and ``extras["batch_size"]``, and report
+    the kernel's wall time divided evenly across the sub-batch.
+
+    >>> import numpy as np
+    >>> from repro.ot import OTProblem
+    >>> cells = [OTProblem(source_weights=[0.5, 0.5],
+    ...                    target_weights=[0.5, 0.5],
+    ...                    source_support=[0.0, 1.0],
+    ...                    target_support=[0.0, float(k)])
+    ...          for k in (1, 2, 3)]
+    >>> results = solve_many(cells)       # auto -> one batched dispatch
+    >>> [r.solver for r in results]
+    ['exact', 'exact', 'exact']
+    >>> [float(r.value) for r in results]
+    [0.0, 0.5, 2.0]
+    >>> results[0].extras["batch_size"]
+    3
+    """
+    batch = (problems if isinstance(problems, OTBatch)
+             else OTBatch(tuple(problems)))
+    if len(batch) == 0:
+        return []
+    if isinstance(executor, str):
+        # The named executors live one layer up (repro.core.executor);
+        # deferred import so the OT layer stays import-independent of it.
+        from ..core.executor import resolve_executor
+        executor = resolve_executor(executor)
+    if executor is not None and not callable(getattr(executor, "map",
+                                                     None)):
+        raise ValidationError(
+            "executor must be None, an executor name, or an object with "
+            "map(fn, iterable) — see repro.core.executor")
+
+    # Group the batch per dispatched solver, filtering options once per
+    # group (satellite of the batched-engine design: no per-cell
+    # inspect.signature overhead).
+    groups = []
+    if isinstance(method, str) and method == "auto":
+        is_auto = True
+    else:
+        resolved = resolve_solver(method)
+        is_auto = resolved.fn is _solve_auto
+    if is_auto:
+        by_name: dict = {}
+        for index, problem in enumerate(batch):
+            by_name.setdefault(auto_method(problem), []).append(index)
+        for name, indices in by_name.items():
+            solver = resolve_solver(name)
+            groups.append((solver, filter_opts(solver, opts), indices))
+    else:
+        groups.append((resolved, dict(opts), list(range(len(batch)))))
+
+    results: list = [None] * len(batch)
+    fallback = []
+    for solver, group_opts, indices in groups:
+        remaining = indices
+        if solver.supports_batch:
+            remaining = []
+            by_shape: dict = {}
+            for i in indices:
+                if solver.can_batch(batch[i]):
+                    by_shape.setdefault(batch[i].shape, []).append(i)
+                else:
+                    remaining.append(i)
+            for same_shape in by_shape.values():
+                sub = batch.subset(same_shape)
+                start = time.perf_counter()
+                outcomes = solver.solve_batch(sub, **group_opts)
+                share = (time.perf_counter() - start) / len(same_shape)
+                for i, outcome in zip(same_shape, outcomes):
+                    outcome = outcome.with_timing(solver.name, share)
+                    results[i] = replace(
+                        outcome,
+                        extras={**outcome.extras, "batched": True,
+                                "batch_size": len(same_shape)})
+        fallback.extend((i, solver, group_opts) for i in remaining)
+
+    if fallback:
+        payloads = [(solver, batch[i], group_opts)
+                    for i, solver, group_opts in fallback]
+        if executor is None:
+            solved = [_solve_many_worker(payload) for payload in payloads]
+        else:
+            solved = list(executor.map(_solve_many_worker, payloads))
+        for (i, _, _), result in zip(fallback, solved):
+            results[i] = result
+    return results
+
+
+def _solve_many_worker(payload):
+    """Solve one fallback problem (module-level so process pools can
+    pickle it); mirrors the facade's solver-name/timing stamping."""
+    solver, problem, opts = payload
+    start = time.perf_counter()
+    result = solver(problem, **opts)
+    return result.with_timing(solver.name, time.perf_counter() - start)
+
+
 # -- shared result assembly --------------------------------------------------
 
 
@@ -234,12 +369,8 @@ def _finish(problem: OTProblem, matrix: np.ndarray, *, value=None,
 # -- built-in solvers --------------------------------------------------------
 
 
-@register_solver(
-    "exact", aliases=("monotone", "1d"),
-    description="closed-form monotone coupling; optimal for 1-D supports "
-                "with convex |x-y|^p costs, O(n+m)")
-def _solve_exact(problem: OTProblem) -> OTResult:
-    """North-west-corner traversal of the sorted supports."""
+def _check_monotone_problem(problem: OTProblem) -> None:
+    """Raise the 'exact' solver's validation errors for bad problems."""
     if not problem.is_one_dimensional:
         raise ValidationError(
             "the 'exact' monotone solver needs 1-D source and target "
@@ -249,15 +380,139 @@ def _solve_exact(problem: OTProblem) -> OTResult:
         raise ValidationError(
             "the 'exact' monotone solver cannot honour a support_mask; "
             "use 'lp' or 'screened'")
-    xs = problem.source_support.ravel()
-    ys = problem.target_support.ravel()
-    order_x = np.argsort(xs, kind="stable")
-    order_y = np.argsort(ys, kind="stable")
-    sorted_plan = north_west_corner(problem.source_weights[order_x],
-                                    problem.target_weights[order_y])
-    matrix = np.zeros_like(sorted_plan)
-    matrix[np.ix_(order_x, order_y)] = sorted_plan
-    return _finish(problem, matrix)
+
+
+def _monotone_batchable(problem: OTProblem) -> bool:
+    """Problems the vectorised monotone kernel accepts."""
+    return problem.is_one_dimensional and problem.support_mask is None
+
+
+def _monotone_engine(problems) -> tuple:
+    """The monotone kernel shared by the serial and batched 'exact' paths.
+
+    All ``problems`` must share one ``(n, m)`` shape and have 1-D
+    unmasked supports.  Sorting, the staircase itself
+    (:func:`~repro.ot.onedim.batched_north_west_corner`), the scatter
+    into dense plans, and the metric cost evaluation are each one NumPy
+    dispatch over the whole stack; every per-row operation is independent
+    of the batch size, so a problem's plan and value are bit-identical
+    whether it is solved alone or inside any batch.
+
+    Returns ``(plans, values)``: a list of ``B`` independent dense
+    ``(n, m)`` plan arrays (each problem owns its buffer, so retaining
+    one result never pins the whole batch) and the per-problem staircase
+    cost values (``None`` for problems with an explicit/callable cost,
+    whose value is ``<C, plan>`` downstream).
+    """
+    B = len(problems)
+    n, m = problems[0].shape
+    xs = np.stack([problem.source_support.ravel() for problem in problems])
+    ys = np.stack([problem.target_support.ravel() for problem in problems])
+    order_x = np.argsort(xs, axis=1, kind="stable")
+    order_y = np.argsort(ys, axis=1, kind="stable")
+    mu_sorted = np.take_along_axis(
+        np.stack([problem.source_weights for problem in problems]),
+        order_x, axis=1)
+    nu_sorted = np.take_along_axis(
+        np.stack([problem.target_weights for problem in problems]),
+        order_y, axis=1)
+    srows, scols, masses = batched_north_west_corner(mu_sorted, nu_sorted)
+    # Un-sort: staircase entry (i, j) of the sorted problem lands at the
+    # original support positions.  The per-problem bincount scatters
+    # with accumulation, so tie-induced zero-mass duplicates cannot
+    # clobber real entries.
+    rows = np.take_along_axis(order_x, srows, axis=1)
+    cols = np.take_along_axis(order_y, scols, axis=1)
+    flat = rows * m + cols
+    # Per-problem scatter (identical accumulation order to a lone
+    # solve); each plan owns an independent buffer, which is both
+    # allocator-friendly versus one B·n·m-sized bincount and lets a
+    # caller keep one result without pinning the whole batch.
+    plans = [np.bincount(flat[b], weights=masses[b],
+                         minlength=n * m).reshape(n, m)
+             for b in range(B)]
+    # O(n + m) pointwise cost on the staircase support — the dense cost
+    # matrix is never built for metric problems.  On 1-D supports the
+    # |x - y|^p family is elementwise, so a batch sharing one metric is
+    # costed in a single dispatch, bit-identical to the per-pair
+    # pointwise_cost evaluation.
+    x_at = np.take_along_axis(xs, rows, axis=1)
+    y_at = np.take_along_axis(ys, cols, axis=1)
+    metrics = {(problem.metric, problem.p) if problem.has_metric_cost
+               else None for problem in problems}
+    if len(metrics) == 1 and None not in metrics:
+        ((metric, p),) = metrics
+        cost_stack = _metric_cost_stack_1d(x_at - y_at, metric, p)
+        values = [float(np.dot(masses[b], cost_stack[b]))
+                  for b in range(B)]
+        return plans, values
+    values = []
+    for b, problem in enumerate(problems):
+        if problem.has_metric_cost:
+            costs = pointwise_cost(x_at[b], y_at[b],
+                                   metric=problem.metric, p=problem.p)
+            values.append(float(np.dot(masses[b], costs)))
+        else:
+            values.append(None)
+    return plans, values
+
+
+def _metric_cost_stack_1d(diff: np.ndarray, metric: str,
+                          p: int) -> np.ndarray:
+    """``|x - y|^p``-family costs for stacked 1-D displacement values —
+    elementwise, hence bitwise identical to
+    :func:`~repro.ot.cost.pointwise_cost` on each ``(x, y)`` pair."""
+    if metric == "sqeuclidean" or (metric == "lp" and p == 2):
+        return diff * diff
+    if metric == "euclidean":
+        return np.abs(diff)
+    return np.abs(diff) ** p
+
+
+@register_solver(
+    "exact", aliases=("monotone", "1d"),
+    description="closed-form monotone coupling; optimal for 1-D supports "
+                "with convex |x-y|^p costs, O(n+m)")
+def _solve_exact(problem: OTProblem) -> OTResult:
+    """North-west-corner traversal of the sorted supports."""
+    _check_monotone_problem(problem)
+    plans, values = _monotone_engine([problem])
+    return _finish(problem, plans[0], value=values[0])
+
+
+@register_batch_solver("exact", when=_monotone_batchable)
+def _solve_exact_batch(batch: OTBatch) -> list:
+    """Vectorised monotone couplings for a same-shape 1-D batch.
+
+    Result assembly is *trusted*: the kernel guarantees non-negative
+    plans of the right shape, so the per-problem re-validation of
+    :func:`~repro.ot.problem.result_from_matrix` (and its defensive
+    clip/copy) is skipped.  Every stored value is bit-identical to the
+    serial assembly (the equivalence is asserted per solver by
+    ``tests/ot/test_batch.py``).
+    """
+    problems = list(batch)
+    for problem in problems:
+        _check_monotone_problem(problem)
+    plans, values = _monotone_engine(problems)
+    results = []
+    for b, problem in enumerate(problems):
+        value = values[b]
+        if value is None:
+            value = _plan_inner_product(plans[b], problem.cost_matrix())
+        plan = TransportPlan._trusted(plans[b], problem.source_support,
+                                      problem.target_support, float(value))
+        # Same reductions the validated per-problem path performs,
+        # hence bitwise-equal residuals.
+        row_err = float(np.abs(plans[b].sum(axis=1)
+                               - problem.source_weights).max())
+        col_err = float(np.abs(plans[b].sum(axis=0)
+                               - problem.target_weights).max())
+        results.append(OTResult(plan=plan, value=float(value),
+                                residual_source=row_err,
+                                residual_target=col_err,
+                                converged=True, n_iter=1))
+    return results
 
 
 @register_solver(
@@ -423,7 +678,6 @@ def _solve_auto(problem: OTProblem, **opts) -> OTResult:
     an entropic method (which uses it) or an exact one (which has no
     such knob).
     """
-    from dataclasses import replace
     target = resolve_solver(auto_method(problem))
     inner = solve(problem, method=target, **filter_opts(target, opts))
     return replace(inner,

@@ -88,6 +88,27 @@ def test_solvers_doc_table_matches_registry():
         f"stale {documented - registered}")
 
 
+def test_solvers_doc_batched_column_matches_registry():
+    """The table's *Batched* column mirrors ``repro.ot.batch_support()``."""
+    table = (DOCS_DIR / "solvers.md").read_text()
+    documented = {}
+    for line in table.splitlines():
+        match = re.match(r"^\| `([a-z_0-9]+)` \|", line)
+        if not match:
+            continue
+        cells = [cell.strip() for cell in line.strip().strip("|").split("|")]
+        assert len(cells) >= 6, f"row {match.group(1)} lost its columns"
+        batched_cell = cells[4].lower()
+        assert batched_cell.startswith(("yes", "no")), (
+            f"row {match.group(1)}: Batched column must start with "
+            f"yes/no, got {cells[4]!r}")
+        documented[match.group(1)] = batched_cell.startswith("yes")
+    live = repro.ot.batch_support()
+    assert documented == live, (
+        f"docs/solvers.md Batched column out of sync with "
+        f"batch_support(): doc says {documented}, registry says {live}")
+
+
 def test_architecture_doc_matches_code():
     """Spot-check that docs/architecture.md names real things."""
     doc = (DOCS_DIR / "architecture.md").read_text()
@@ -97,9 +118,15 @@ def test_architecture_doc_matches_code():
                    "repro.core", "repro.experiments"):
         assert module in doc
     for name in ("register_solver", "resolve_solver", "filter_opts",
-                 "available_solvers"):
+                 "available_solvers", "register_batch_solver",
+                 "solve_many", "batch_support"):
         assert name in doc
         assert hasattr(repro.ot, name)
+    # The execution-engine section names the real strategies.
+    from repro.core.executor import EXECUTOR_NAMES
+    for name in EXECUTOR_NAMES:
+        assert f"`{name}`" in doc, f"architecture.md lost executor {name}"
+    assert "resolve_executor" in doc
 
 
 def test_version_matches_pyproject():
