@@ -70,6 +70,9 @@ def archive_sizes(screened_plan, tmp_path_factory):
         "v2_sparse_deflate": save_plan(screened_plan,
                                        out / "v2_sparse_deflate.npz",
                                        compress=True),
+        "v2_sparse_f32": save_plan(screened_plan,
+                                   out / "v2_sparse_f32.npz",
+                                   dtype="float32"),
         "v1_dense": save_plan(dense, out / "v1_dense.npz"),
         "v1_dense_deflate": save_plan(dense, out / "v1_dense_deflate.npz",
                                       compress=True),
@@ -117,6 +120,23 @@ def test_sparse_archive_at_least_10x_smaller(screened_plan, archive_sizes):
     # still win when deflated itself.
     assert (archive_sizes["v2_sparse_deflate"].stat().st_size
             < archive_sizes["v1_dense_deflate"].stat().st_size)
+
+
+def test_float32_archive_smaller_and_tolerant(screened_plan,
+                                              archive_sizes):
+    """The quantised satellite: float32 plan data on top of CSR storage
+    shrinks the archive further, and the loaded (up-converted) plans
+    match the float64 originals to float32 resolution."""
+    assert (archive_sizes["v2_sparse_f32"].stat().st_size
+            < archive_sizes["v2_sparse"].stat().st_size)
+    reloaded = load_plan(archive_sizes["v2_sparse_f32"])
+    for key, feature_plan in screened_plan.feature_plans.items():
+        for s in feature_plan.s_values:
+            got = reloaded.feature_plans[key].transports[s]
+            expected = feature_plan.transports[s]
+            assert got.matrix.data.dtype == np.float64  # up-converted
+            np.testing.assert_allclose(got.toarray(), expected.toarray(),
+                                       rtol=1e-6, atol=1e-9)
 
 
 def test_sparse_archive_round_trips(screened_plan, archive_sizes,
@@ -174,10 +194,15 @@ def test_record_results(screened_plan, archive_sizes, design_timings):
         f"(v2 default)",
         f"  v2 CSR sparse, deflated   : "
         f"{sizes['v2_sparse_deflate']:>12,} bytes  (--compress)",
+        f"  v2 CSR sparse, float32    : "
+        f"{sizes['v2_sparse_f32']:>12,} bytes  (--plan-dtype float32; "
+        "plan data quantised, loaders up-convert, ~1e-7 round-trip)",
         f"  storage shrink (dense vs sparse, plain)    : "
         f"{sizes['v1_dense'] / sizes['v2_sparse']:.1f}x",
         f"  storage shrink (dense vs sparse, deflated) : "
         f"{sizes['v1_dense_deflate'] / sizes['v2_sparse_deflate']:.2f}x",
+        f"  archive shrink from float32 plan data      : "
+        f"{sizes['v2_sparse'] / sizes['v2_sparse_f32']:.2f}x",
         "  (deflate hides the dense format's O(n_Q^2) zeros on disk but "
         "not in RAM or load time)",
         "",

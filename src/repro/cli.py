@@ -26,6 +26,7 @@ from .core.serialize import load_plan, save_plan
 from .data.dataset import FairnessDataset
 from .data.schema import TableSchema
 from .exceptions import DataError, ReproError
+from .core.backend import available_backends, get_backend
 from .metrics.fairness import conditional_dependence_energy
 from .ot.registry import resolve_solver, solver_descriptions
 
@@ -147,6 +148,20 @@ def build_parser() -> argparse.ArgumentParser:
                              "fan-out; auto picks per solver. Batch-"
                              "kernel solvers (exact) vectorise same-"
                              "grid cells regardless of the strategy")
+    design.add_argument("--backend", default="auto",
+                        help="compute backend for the vectorised plan "
+                             "solves: auto/numpy (bit-identical "
+                             "default), torch or cupy when installed, "
+                             "array_api_strict for conformance runs; "
+                             "unknown or unavailable names fail before "
+                             "the CSV is read, and the resolved name "
+                             "is recorded in the plan metadata")
+    design.add_argument("--plan-dtype", default="float64",
+                        choices=("float64", "float32"),
+                        help="storage dtype of the transport-plan "
+                             "arrays in the saved archive; float32 "
+                             "halves the plan bytes on disk (loaders "
+                             "up-convert, values round-trip to ~1e-7)")
     design.add_argument("--sparse-plans", action="store_true",
                         help="store transport plans CSR-sparse; cuts the "
                              "plan archive roughly n_Q-fold for screened/"
@@ -170,6 +185,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     commands.add_parser(
         "solvers", help="list the registered OT solvers")
+
+    commands.add_parser(
+        "backends", help="list the available compute backends")
 
     return parser
 
@@ -205,6 +223,14 @@ def _run_experiment(args) -> int:
     else:
         from .experiments.extensions import run_monge_study
         print(run_monge_study(seed=args.seed).render())
+    return 0
+
+
+def _run_backends(args) -> int:
+    names = available_backends()
+    for name in names:
+        suffix = " (default)" if name == "numpy" else ""
+        print(f"{name}{suffix}")
     return 0
 
 
@@ -248,25 +274,28 @@ def _parse_solver_opts(pairs) -> dict:
 
 
 def _run_design(args) -> int:
-    # Resolve the solver and parse its options eagerly so a typo fails
-    # before the CSV is even read, with the registry's list of names.
+    # Resolve the solver, the backend and the options eagerly so a typo
+    # fails before the CSV is even read, with the available names.
     resolve_solver(args.solver)
+    get_backend(args.backend)
     solver_opts = _parse_solver_opts(args.solver_opts)
     research = read_csv_dataset(args.research_csv)
     repairer = DistributionalRepairer(
         n_states=args.n_states, t=args.t, solver=args.solver,
         solver_opts=solver_opts,
         marginal_estimator=args.marginal_estimator, n_jobs=args.n_jobs,
-        executor=args.executor, sparse_plans=args.sparse_plans)
+        executor=args.executor, backend=args.backend,
+        sparse_plans=args.sparse_plans)
     repairer.fit(research)
     written = save_plan(repairer.plan, args.plan_file,
-                        compress=args.compress)
+                        compress=args.compress, dtype=args.plan_dtype)
     metadata = repairer.plan.metadata
     n_sparse = metadata.get("n_sparse_transports", 0)
     print(f"designed {len(repairer.plan.feature_plans)} feature plans "
           f"({n_sparse} sparse transports, "
           f"{metadata.get('n_batched_solves', 0)} batched solves, "
-          f"executor {metadata.get('executor', 'serial')}) on "
+          f"executor {metadata.get('executor', 'serial')}, "
+          f"backend {metadata.get('backend', 'numpy')}) on "
           f"{len(research)} research rows -> {written}")
     return 0
 
@@ -301,6 +330,7 @@ def main(argv=None) -> int:
         "repair": _run_repair,
         "evaluate": _run_evaluate,
         "solvers": _run_solvers,
+        "backends": _run_backends,
     }
     try:
         return handlers[args.command](args)

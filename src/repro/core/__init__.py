@@ -1,6 +1,10 @@
 """Core contribution: distributional OT repair (Algorithms 1 & 2) and
 baselines."""
 
+from .backend import (BACKEND_NAMES, ArrayBackend, ArrayAPIBackend,
+                      CupyBackend, NumpyBackend, TorchBackend,
+                      available_backends, get_backend,
+                      register_array_backend)
 from .design import SOLVERS, design_feature_plan, design_repair
 from .diagnostics import CellDiagnostic, DriftMonitor, DriftReport
 from .executor import (EXECUTOR_NAMES, Executor, ProcessExecutor,
@@ -9,7 +13,7 @@ from .geometric import (GeometricRepairer, geometric_repair_1d,
                         geometric_repair_multivariate)
 from .joint import (JointDistributionalRepairer, JointFeaturePlan,
                     JointRepairPlan, design_joint_repair)
-from .serialize import load_plan, save_plan
+from .serialize import PLAN_DTYPES, load_plan, save_plan
 from .labels import GaussianClassConditional, SubgroupLabelModel, em_refine
 from .monge import MongeFeatureMap, MongeRepairer
 from .partial import PartialRepairer, dampen_repair, repair_damage
@@ -19,9 +23,14 @@ from .repair import (DistributionalRepairer, repair_dataset,
                      repair_feature_values)
 
 __all__ = [
+    "BACKEND_NAMES",
     "EXECUTOR_NAMES",
+    "PLAN_DTYPES",
     "SOLVERS",
+    "ArrayAPIBackend",
+    "ArrayBackend",
     "CellDiagnostic",
+    "CupyBackend",
     "DistributionalRepairer",
     "DriftMonitor",
     "DriftReport",
@@ -34,6 +43,7 @@ __all__ = [
     "JointRepairPlan",
     "MongeFeatureMap",
     "MongeRepairer",
+    "NumpyBackend",
     "PartialRepairer",
     "ProcessExecutor",
     "RepairPipeline",
@@ -42,6 +52,8 @@ __all__ = [
     "SerialExecutor",
     "SubgroupLabelModel",
     "ThreadExecutor",
+    "TorchBackend",
+    "available_backends",
     "dampen_repair",
     "design_feature_plan",
     "design_joint_repair",
@@ -49,7 +61,9 @@ __all__ = [
     "em_refine",
     "geometric_repair_1d",
     "geometric_repair_multivariate",
+    "get_backend",
     "load_plan",
+    "register_array_backend",
     "repair_damage",
     "resolve_executor",
     "save_plan",

@@ -27,6 +27,11 @@ On-disk layout (format version 2)
   :class:`~repro.ot.coupling.TransportPlan` is CSR-backed.  Sparse
   storage is what makes large-``n_Q`` screened designs archive at
   ``O(n_Q)`` instead of ``O(n_Q²)`` bytes.
+* the header's optional ``plan_dtype`` field records the storage
+  precision of the plan arrays: ``save_plan(..., dtype="float32")``
+  quantises the plan mass (CSR ``data`` / dense matrices) to ~1e-7
+  relative for another ~2x of plan bytes on disk; everything else stays
+  float64 and loaders up-convert on read.
 * v2 archives are written as plain (uncompressed) ``.npz`` by default:
   with sparse plan storage there is almost nothing left for deflate to
   win (measured ≤ 1.4x on screened designs) while compression slows the
@@ -57,7 +62,7 @@ from ..exceptions import DataError, ValidationError
 from ..ot.coupling import TransportPlan
 from .plan import FeaturePlan, RepairPlan
 
-__all__ = ["save_plan", "load_plan", "FORMAT_VERSION"]
+__all__ = ["save_plan", "load_plan", "FORMAT_VERSION", "PLAN_DTYPES"]
 
 #: Bump when the on-disk layout changes incompatibly.
 FORMAT_VERSION = 2
@@ -66,24 +71,47 @@ FORMAT_VERSION = 2
 _OLDEST_READABLE_VERSION = 1
 
 
-def save_plan(plan: RepairPlan, path, *, compress: bool = False) -> Path:
+#: Transport-plan storage dtypes :func:`save_plan` accepts.
+PLAN_DTYPES = ("float64", "float32")
+
+
+def save_plan(plan: RepairPlan, path, *, compress: bool = False,
+              dtype=None) -> Path:
     """Serialise ``plan`` to ``path`` (a ``.npz`` archive).
 
     CSR-backed transports are stored as ``(data, indices, indptr)``
     triplets, dense ones as full matrices.  ``compress`` opts into
-    deflate (see the module docstring for the trade-off).  Returns the
+    deflate (see the module docstring for the trade-off).  ``dtype``
+    selects the storage precision of the transport-plan arrays only
+    (CSR ``data`` / dense matrices): the default ``"float64"`` is
+    exact, ``"float32"`` quantises the plan mass to ~1e-7 relative for
+    half the plan bytes on disk — grids, marginals, barycentres and
+    cost values always stay float64, and loaders up-convert, so a
+    quantised archive round-trips into ordinary float64
+    :class:`~repro.ot.coupling.TransportPlan` objects.  The choice is
+    recorded in the header (``plan_dtype``, a format-v2 field; archives
+    written before the field existed read as float64).  Returns the
     resolved path actually written (numpy appends ``.npz`` when
     missing).
     """
     if not isinstance(plan, RepairPlan):
         raise ValidationError(
             f"save_plan expects a RepairPlan, got {type(plan).__name__}")
+    plan_dtype = np.dtype("float64" if dtype is None else dtype)
+    if plan_dtype.name not in PLAN_DTYPES:
+        raise ValidationError(
+            f"unsupported plan dtype {dtype!r}; expected one of "
+            f"{PLAN_DTYPES}")
     file_path = Path(path)
 
     header = {
         "format_version": FORMAT_VERSION,
         "n_features": plan.n_features,
         "t": plan.t,
+        # Storage precision of the plan arrays (marginals/supports/cost
+        # values stay float64); absent in archives written before the
+        # field existed, which are float64 by construction.
+        "plan_dtype": plan_dtype.name,
         "metadata": _jsonable(plan.metadata),
         "cells": [[int(u), int(k)] for (u, k) in sorted(plan.feature_plans)],
         # Each cell's actual protected-class labels; round-tripping them
@@ -121,13 +149,15 @@ def save_plan(plan: RepairPlan, path, *, compress: bool = False) -> Path:
             arrays[f"{prefix}_cost_{label}"] = np.array(transport.cost)
             if transport.is_sparse:
                 matrix = transport.matrix
-                arrays[f"{prefix}_plan_{label}_data"] = matrix.data
+                arrays[f"{prefix}_plan_{label}_data"] = \
+                    matrix.data.astype(plan_dtype, copy=False)
                 arrays[f"{prefix}_plan_{label}_indices"] = \
                     matrix.indices.astype(np.int64)
                 arrays[f"{prefix}_plan_{label}_indptr"] = \
                     matrix.indptr.astype(np.int64)
             else:
-                arrays[f"{prefix}_plan_{label}"] = transport.matrix
+                arrays[f"{prefix}_plan_{label}"] = \
+                    transport.matrix.astype(plan_dtype, copy=False)
 
     writer = np.savez_compressed if compress else np.savez
     writer(file_path, **arrays)
@@ -199,14 +229,21 @@ def load_plan(path) -> RepairPlan:
 
 def _load_transport(archive, prefix: str, s: int,
                     nodes: np.ndarray) -> TransportPlan:
-    """One plan from either its dense key or its CSR triplet keys."""
+    """One plan from either its dense key or its CSR triplet keys.
+
+    Plan arrays are up-converted to float64 on load (quantised
+    ``dtype="float32"`` archives round-trip into ordinary float64
+    plans).
+    """
     cost = float(archive[f"{prefix}_cost_{s}"])
     dense_key = f"{prefix}_plan_{s}"
     if dense_key in archive:
-        return TransportPlan(archive[dense_key], nodes, nodes, cost)
+        matrix = np.asarray(archive[dense_key], dtype=np.float64)
+        return TransportPlan(matrix, nodes, nodes, cost)
     n = nodes.size
     return TransportPlan.from_sparse(
-        (archive[f"{dense_key}_data"], archive[f"{dense_key}_indices"],
+        (np.asarray(archive[f"{dense_key}_data"], dtype=np.float64),
+         archive[f"{dense_key}_indices"],
          archive[f"{dense_key}_indptr"]),
         nodes, nodes, cost, shape=(n, n))
 

@@ -306,6 +306,48 @@ class OTBatch:
         """True when every problem has 1-D source and target supports."""
         return all(problem.is_one_dimensional for problem in self.problems)
 
+    @property
+    def has_shared_grid(self) -> bool:
+        """True when every problem's supports are *identical* point sets.
+
+        Deliberately stricter than :attr:`is_uniform`: equal shapes do
+        **not** imply equal grids (every design cell has its own sample
+        range), so a batch kernel that wants to share per-grid work — a
+        single ground-cost evaluation, one Gibbs kernel — must key on
+        this, not on shape, before assuming a common grid.  Problems
+        without supports never share a grid under this definition.
+
+        >>> import numpy as np
+        >>> grid = np.linspace(0.0, 1.0, 3)
+        >>> w = np.full(3, 1 / 3)
+        >>> same = OTBatch(tuple(
+        ...     OTProblem(source_weights=w, target_weights=w,
+        ...               source_support=grid, target_support=grid)
+        ...     for _ in range(2)))
+        >>> same.has_shared_grid
+        True
+        >>> shifted = OTBatch((same[0], OTProblem(
+        ...     source_weights=w, target_weights=w,
+        ...     source_support=grid + 1.0, target_support=grid + 1.0)))
+        >>> shifted.is_uniform, shifted.has_shared_grid
+        (True, False)
+        """
+        if not self.problems:
+            return True
+        first = self.problems[0]
+        if first.source_support is None or first.target_support is None:
+            return False
+        return all(
+            problem.source_support is not None
+            and problem.target_support is not None
+            and (problem.source_support is first.source_support
+                 or np.array_equal(problem.source_support,
+                                   first.source_support))
+            and (problem.target_support is first.target_support
+                 or np.array_equal(problem.target_support,
+                                   first.target_support))
+            for problem in self.problems[1:])
+
     # -- stacked views (the shared-shape fast path) ------------------------
 
     def source_weight_stack(self) -> np.ndarray:

@@ -89,6 +89,80 @@ class TestRoundTrip:
         np.testing.assert_allclose(a.features, b.features)
 
 
+class TestQuantisedArchives:
+    """``save_plan(..., dtype="float32")``: half the plan bytes on disk,
+    float64 plans after the round trip."""
+
+    def test_float32_round_trip_within_tolerance(self, fitted_plan,
+                                                 tmp_path):
+        written = save_plan(fitted_plan, tmp_path / "plan32.npz",
+                            dtype="float32")
+        loaded = load_plan(written)
+        for key, feature_plan in fitted_plan.feature_plans.items():
+            for s, transport in feature_plan.transports.items():
+                reloaded = loaded.feature_plans[key].transports[s]
+                got = (reloaded.matrix.toarray() if reloaded.is_sparse
+                       else reloaded.matrix)
+                expected = (transport.matrix.toarray()
+                            if transport.is_sparse else transport.matrix)
+                assert got.dtype == np.float64  # loaders up-convert
+                np.testing.assert_allclose(got, expected, rtol=1e-6,
+                                           atol=1e-9)
+                # Cost values are never quantised.
+                assert reloaded.cost == transport.cost
+
+    def test_float32_sparse_round_trip(self, tmp_path):
+        nodes = np.linspace(0.0, 1.0, 40)
+        plan = RepairPlan(
+            feature_plans={(0, 0): _feature_plan(nodes, (0, 1),
+                                                 sparse=True)},
+            n_features=1, t=0.5)
+        written = save_plan(plan, tmp_path / "sparse32.npz",
+                            dtype="float32")
+        loaded = load_plan(written)
+        transport = loaded.feature_plans[(0, 0)].transports[0]
+        assert transport.is_sparse
+        assert transport.matrix.data.dtype == np.float64
+        np.testing.assert_allclose(
+            transport.matrix.toarray(),
+            plan.feature_plans[(0, 0)].transports[0].matrix.toarray(),
+            rtol=1e-6, atol=1e-9)
+
+    def test_header_records_plan_dtype(self, fitted_plan, tmp_path):
+        for dtype, expected in ((None, "float64"),
+                                ("float32", "float32"),
+                                (np.float32, "float32")):
+            written = save_plan(fitted_plan, tmp_path / "dtyped.npz",
+                                dtype=dtype)
+            with np.load(written) as archive:
+                header = json.loads(
+                    bytes(archive["__header__"]).decode("utf-8"))
+            assert header["plan_dtype"] == expected
+
+    def test_float32_archive_is_smaller(self, fitted_plan, tmp_path):
+        full = save_plan(fitted_plan, tmp_path / "full.npz")
+        quantised = save_plan(fitted_plan, tmp_path / "quantised.npz",
+                              dtype="float32")
+        # Plans dominate a dense archive, so ~2x on their bytes shows up
+        # as a solidly smaller file.
+        assert quantised.stat().st_size < 0.7 * full.stat().st_size
+
+    def test_quantised_plans_still_repair(self, paper_split, tmp_path):
+        plan = design_repair(paper_split.research, 20)
+        written = save_plan(plan, tmp_path / "repair32.npz",
+                            dtype="float32")
+        repaired = repair_dataset(paper_split.archive, load_plan(written),
+                                  rng=np.random.default_rng(7))
+        assert repaired.features.shape == paper_split.archive.features.shape
+        assert np.all(np.isfinite(repaired.features))
+
+    def test_unsupported_dtype_rejected(self, fitted_plan, tmp_path):
+        with pytest.raises(ValidationError, match="dtype"):
+            save_plan(fitted_plan, tmp_path / "bad.npz", dtype="float16")
+        with pytest.raises((ValidationError, TypeError)):
+            save_plan(fitted_plan, tmp_path / "bad.npz", dtype="bogus")
+
+
 class TestErrors:
     def test_missing_file(self, tmp_path):
         with pytest.raises(DataError, match="not found"):

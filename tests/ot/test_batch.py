@@ -28,6 +28,12 @@ from repro.ot import (OTBatch, OTProblem, available_solvers,
 #: identical between solve_many and the per-problem solve() loop.
 BATCH_EXTRAS = ("batched", "batch_size")
 
+#: Solvers whose batch kernel matches the per-cell loop to solver
+#: precision rather than bitwise: the stacked Sinkhorn engines contract
+#: with einsum where the serial loop uses matmul, so agreement is
+#: numerical (<= 1e-12), with identical iteration schedules.
+ENTROPIC_BATCHED = ("sinkhorn", "sinkhorn_log")
+
 
 def design_cells(rng, sizes=(18, 18, 18, 18, 24, 24)):
     """Design-style 1-D cells: shared sorted grid per size, KDE-ish pmfs."""
@@ -43,27 +49,41 @@ def design_cells(rng, sizes=(18, 18, 18, 18, 24, 24)):
     return [problems[i] for i in order]
 
 
-def assert_result_pairs_identical(many, serial):
-    """Bitwise agreement, modulo wall time and the batch-extras keys."""
+def assert_result_pairs_identical(many, serial, *, atol: float = 0.0):
+    """Agreement modulo wall time and the batch-extras keys.
+
+    ``atol=0`` (default) demands bitwise identity; the entropic batch
+    kernels pass their documented ``atol=1e-12`` instead (values and
+    plans within tolerance, everything discrete still exactly equal).
+    """
     assert len(many) == len(serial)
     for got, expected in zip(many, serial):
         assert got.solver == expected.solver
         assert got.converged == expected.converged
         assert got.n_iter == expected.n_iter
-        assert got.value == expected.value
-        assert got.residual_source == expected.residual_source
-        assert got.residual_target == expected.residual_target
         assert got.plan.is_sparse == expected.plan.is_sparse
+        if atol == 0.0:
+            assert got.value == expected.value
+            assert got.residual_source == expected.residual_source
+            assert got.residual_target == expected.residual_target
+        else:
+            assert got.value == pytest.approx(expected.value, abs=atol)
+            assert got.residual_source == pytest.approx(
+                expected.residual_source, abs=atol)
+            assert got.residual_target == pytest.approx(
+                expected.residual_target, abs=atol)
         if got.plan.is_sparse:
-            np.testing.assert_array_equal(got.plan.matrix.data,
-                                          expected.plan.matrix.data)
             np.testing.assert_array_equal(got.plan.matrix.indices,
                                           expected.plan.matrix.indices)
             np.testing.assert_array_equal(got.plan.matrix.indptr,
                                           expected.plan.matrix.indptr)
+            np.testing.assert_allclose(got.plan.matrix.data,
+                                       expected.plan.matrix.data,
+                                       rtol=0.0, atol=atol)
         else:
-            np.testing.assert_array_equal(got.plan.matrix,
-                                          expected.plan.matrix)
+            np.testing.assert_allclose(got.plan.matrix,
+                                       expected.plan.matrix,
+                                       rtol=0.0, atol=atol)
         stripped = {key: value for key, value in got.extras.items()
                     if key not in BATCH_EXTRAS}
         assert stripped == expected.extras
@@ -118,6 +138,36 @@ class TestOTBatch:
         with pytest.raises(ValidationError, match="OTProblem"):
             OTBatch((np.eye(2),))
 
+    def test_has_shared_grid_keys_on_grids_not_shapes(self, rng):
+        """Equal shapes must NOT count as a shared grid — every design
+        cell has its own sample range, and a kernel sharing per-grid
+        work (one cost matrix) on shape evidence alone would silently
+        solve the wrong problems."""
+        same_shape = OTBatch(design_cells(rng, sizes=(10, 10, 10)))
+        assert same_shape.is_uniform
+        assert not same_shape.has_shared_grid  # distinct random grids
+        grid = np.linspace(0.0, 1.0, 10)
+        weights = rng.dirichlet(np.ones(10), size=4)
+        shared = OTBatch(tuple(
+            OTProblem(source_weights=weights[b],
+                      target_weights=weights[(b + 1) % 4],
+                      source_support=grid, target_support=grid)
+            for b in range(4)))
+        assert shared.has_shared_grid
+        # Equal values on distinct array objects still share.
+        copied = OTBatch((shared[0], OTProblem(
+            source_weights=weights[2], target_weights=weights[3],
+            source_support=grid.copy(), target_support=grid.copy())))
+        assert copied.has_shared_grid
+
+    def test_has_shared_grid_needs_supports(self, rng):
+        explicit = OTBatch(tuple(
+            OTProblem(source_weights=rng.dirichlet(np.ones(5)),
+                      target_weights=rng.dirichlet(np.ones(5)),
+                      cost=np.abs(rng.normal(size=(5, 5))))
+            for _ in range(2)))
+        assert not explicit.has_shared_grid
+
     def test_from_arrays_batch_size_mismatch(self, rng):
         with pytest.raises(ValidationError, match="batch size"):
             OTBatch.from_arrays(rng.dirichlet(np.ones(4), size=3),
@@ -129,9 +179,9 @@ class TestOTBatch:
 class TestRegistryBatchExtension:
     def test_builtin_batch_support(self):
         support = batch_support()
-        assert support["exact"] is True
-        for name in ("simplex", "lp", "sinkhorn", "sinkhorn_log",
-                     "screened", "multiscale"):
+        for name in ("exact", "sinkhorn", "sinkhorn_log"):
+            assert support[name] is True, name
+        for name in ("simplex", "lp", "screened", "multiscale"):
             assert support[name] is False, name
 
     def test_aliases_share_the_kernel(self):
@@ -227,7 +277,8 @@ class TestSolveManyEquivalence:
         problems = design_cells(rng)
         serial = [solve(problem, method=method) for problem in problems]
         many = solve_many(problems, method=method)
-        assert_result_pairs_identical(many, serial)
+        atol = 1e-12 if method in ENTROPIC_BATCHED else 0.0
+        assert_result_pairs_identical(many, serial, atol=atol)
 
     def test_exact_cells_ran_through_the_batch_kernel(self, rng):
         problems = design_cells(rng)
@@ -263,7 +314,7 @@ class TestSolveManyEquivalence:
         many = solve_many(problems, method="sinkhorn", epsilon=5e-2)
         serial = [solve(problem, method="sinkhorn", epsilon=5e-2)
                   for problem in problems]
-        assert_result_pairs_identical(many, serial)
+        assert_result_pairs_identical(many, serial, atol=1e-12)
         assert all(result.extras["epsilon"] == 5e-2 for result in many)
         with pytest.raises(TypeError):
             solve_many(problems, method="simplex", epsilon=1.0)
@@ -317,6 +368,143 @@ class TestExecutorMatrix:
             many = solve_many(problems, method="lp", executor=pool)
         serial = [solve(problem, method="lp") for problem in problems]
         assert_result_pairs_identical(many, serial)
+
+
+class TestSinkhornBatchKernels:
+    """The entropic batch kernels: stacked (B, n, m) iterations with
+    per-problem convergence masking, within 1e-12 of the per-cell loop."""
+
+    @pytest.mark.parametrize("method", ENTROPIC_BATCHED)
+    def test_batched_within_1e12_of_per_cell(self, rng, method):
+        problems = design_cells(rng, sizes=(14, 14, 14, 20, 20))
+        serial = [solve(problem, method=method, epsilon=5e-2, tol=1e-10)
+                  for problem in problems]
+        many = solve_many(problems, method=method, epsilon=5e-2,
+                          tol=1e-10)
+        assert_result_pairs_identical(many, serial, atol=1e-12)
+        for result in many:
+            assert result.extras["batched"] is True
+
+    @pytest.mark.parametrize("method", ENTROPIC_BATCHED)
+    def test_shuffle_property(self, rng, method):
+        """Shuffling the batch permutes the results and changes nothing
+        else — convergence masking and compaction are order-free."""
+        problems = design_cells(rng, sizes=(12,) * 6)
+        baseline = solve_many(problems, method=method, epsilon=5e-2,
+                              tol=1e-10)
+        order = rng.permutation(len(problems))
+        shuffled = solve_many([problems[i] for i in order], method=method,
+                              epsilon=5e-2, tol=1e-10)
+        for position, original in enumerate(order):
+            got, expected = shuffled[position], baseline[original]
+            np.testing.assert_allclose(got.plan.matrix,
+                                       expected.plan.matrix,
+                                       rtol=0.0, atol=1e-12)
+            assert got.n_iter == expected.n_iter
+            assert got.converged == expected.converged
+
+    def test_per_problem_masking_freezes_each_cell_at_its_own_iteration(
+            self, rng):
+        """Cells converge at different iteration counts inside one
+        batched dispatch — the masking must freeze each at its own
+        checkpoint, exactly like its lone per-cell run."""
+        problems = design_cells(rng, sizes=(16,) * 8)
+        many = solve_many(problems, method="sinkhorn_log", epsilon=5e-2,
+                          tol=1e-10)
+        iters = {result.n_iter for result in many}
+        assert len(iters) > 1, "fixture too easy: all cells converged " \
+                               "at the same checkpoint"
+        for problem, result in zip(problems, many):
+            lone = solve(problem, method="sinkhorn_log", epsilon=5e-2,
+                         tol=1e-10)
+            assert result.n_iter == lone.n_iter
+
+    def test_equal_shape_different_grid_regression(self, rng):
+        """The shared-grid fix: equal-shape cells on *different* grids
+        must each be solved against their own cost matrix.  A kernel
+        keying the shared-cost fast path on shapes (the old uniform-
+        shape detection) would solve every cell on cell 0's grid and
+        produce plans that match nothing below."""
+        n = 12
+        problems = []
+        for shift in (0.0, 2.5, -1.0, 7.0):
+            nodes = np.sort(rng.normal(size=n)) + shift
+            problems.append(OTProblem(
+                source_weights=rng.dirichlet(np.ones(n) * 2.0),
+                target_weights=rng.dirichlet(np.ones(n) * 2.0),
+                source_support=nodes,
+                target_support=nodes * 1.5))
+        batch = OTBatch(tuple(problems))
+        assert batch.is_uniform and not batch.has_shared_grid
+        for method in ENTROPIC_BATCHED:
+            serial = [solve(problem, method=method, epsilon=5e-2,
+                            tol=1e-10) for problem in problems]
+            many = solve_many(problems, method=method, epsilon=5e-2,
+                              tol=1e-10)
+            assert_result_pairs_identical(many, serial, atol=1e-12)
+
+    def test_shared_grid_fast_path_matches_per_problem_stack(self, rng):
+        """When every cell provably shares one grid and cost recipe the
+        kernel may evaluate the cost once — and must still match the
+        per-cell loop."""
+        n = 15
+        grid = np.sort(rng.normal(size=n))
+        problems = [OTProblem(
+            source_weights=rng.dirichlet(np.ones(n) * 2.0),
+            target_weights=rng.dirichlet(np.ones(n) * 2.0),
+            source_support=grid, target_support=grid)
+            for _ in range(5)]
+        assert OTBatch(tuple(problems)).has_shared_grid
+        for method in ENTROPIC_BATCHED:
+            serial = [solve(problem, method=method, epsilon=5e-2,
+                            tol=1e-10) for problem in problems]
+            many = solve_many(problems, method=method, epsilon=5e-2,
+                              tol=1e-10)
+            assert_result_pairs_identical(many, serial, atol=1e-12)
+
+
+class TestBackendThreading:
+    """backend= flows through solve/solve_many to the aware solvers and
+    is dropped (with fail-fast name validation) for the rest."""
+
+    def test_solve_many_backend_numpy_matches_default(self, rng):
+        problems = design_cells(rng, sizes=(10, 10, 14))
+        default = solve_many(problems, method="exact")
+        explicit = solve_many(problems, method="exact", backend="numpy")
+        for got, expected in zip(explicit, default):
+            np.testing.assert_array_equal(got.plan.matrix,
+                                          expected.plan.matrix)
+            assert got.value == expected.value
+            assert got.extras == expected.extras
+
+    def test_auto_offers_backend_to_dispatch_targets(self, rng):
+        problems = design_cells(rng, sizes=(10, 10))
+        results = solve_many(problems, method="auto", backend="numpy")
+        assert all(result.solver == "exact" for result in results)
+        serial = [solve(problem, method="auto") for problem in problems]
+        assert_result_pairs_identical(results, serial)
+
+    def test_backend_dropped_for_unaware_solvers(self, rng):
+        problems = design_cells(rng, sizes=(8, 8))
+        results = solve_many(problems, method="lp", backend="numpy")
+        serial = [solve(problem, method="lp") for problem in problems]
+        assert_result_pairs_identical(results, serial)
+
+    def test_unknown_backend_fails_fast(self, rng):
+        problems = design_cells(rng, sizes=(8,))
+        with pytest.raises(ValidationError, match="unknown backend"):
+            solve_many(problems, method="exact", backend="no-such-device")
+        with pytest.raises(ValidationError, match="unknown backend"):
+            solve(problems[0], method="lp", backend="no-such-device")
+
+    def test_backend_support_introspection(self):
+        from repro.ot import backend_support
+
+        support = backend_support()
+        for name in ("exact", "sinkhorn", "sinkhorn_log", "auto"):
+            assert support[name] is True, name
+        for name in ("simplex", "lp", "screened", "multiscale"):
+            assert support[name] is False, name
 
 
 # -- property-based: batch invariance of the exact solver ---------------------

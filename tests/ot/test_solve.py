@@ -404,6 +404,65 @@ class TestLegacyShimEquivalence:
         assert facade.n_iter == impl.iterations
 
 
+class TestScreenedEpsilonScaling:
+    """The annealed Sinkhorn screen: epsilon_scaling=True runs a
+    geometric epsilon schedule with warm-started scales."""
+
+    @pytest.fixture
+    def hard_problem(self, rng):
+        n = 120
+        xs = np.sort(rng.normal(size=n))
+        ys = np.sort(rng.normal(size=n)) + 0.5
+        return OTProblem(source_weights=rng.dirichlet(np.ones(n) * 2.0),
+                         target_weights=rng.dirichlet(np.ones(n) * 2.0),
+                         source_support=xs, target_support=ys)
+
+    def test_matches_dense_lp_value(self, hard_problem):
+        reference = solve(hard_problem, method="lp")
+        scaled = solve(hard_problem, method="screened", epsilon=1e-3,
+                       screen_tol=1e-7, epsilon_scaling=True, n_scales=4)
+        assert scaled.value == pytest.approx(reference.value, abs=1e-8)
+        assert scaled.extras["epsilon_scaling"] is True
+        assert scaled.extras["n_scales"] == 4
+        assert scaled.extras["screen_iterations"] > 0
+
+    def test_converges_where_cold_start_stalls(self, hard_problem):
+        """The scaling loop's reason to exist: at small epsilon the cold
+        screen burns its whole budget, the annealed one converges."""
+        budget = 800
+        cold = solve(hard_problem, method="screened", epsilon=1e-3,
+                     screen_max_iter=budget, screen_tol=1e-7)
+        scaled = solve(hard_problem, method="screened", epsilon=1e-3,
+                       screen_max_iter=budget, screen_tol=1e-7,
+                       epsilon_scaling=True, n_scales=4)
+        assert scaled.extras["screen_converged"]
+        assert not cold.extras["screen_converged"]
+
+    def test_single_scale_equals_direct_screen(self, hard_problem):
+        direct = solve(hard_problem, method="screened", epsilon=1e-2,
+                       screen_tol=1e-7)
+        single = solve(hard_problem, method="screened", epsilon=1e-2,
+                       screen_tol=1e-7, epsilon_scaling=True, n_scales=1)
+        assert single.value == pytest.approx(direct.value, abs=1e-10)
+        assert single.extras["screen_iterations"] == \
+            direct.extras["screen_iterations"]
+
+    def test_invalid_n_scales_rejected(self, hard_problem):
+        with pytest.raises(ValidationError, match="n_scales"):
+            solve(hard_problem, method="screened", epsilon_scaling=True,
+                  n_scales=0)
+
+    def test_reachable_through_solver_opts(self, rng):
+        """The design layer's solver_opts path (and hence the CLI's
+        --solver-opt epsilon_scaling=true) reaches the knob."""
+        from repro.ot.registry import filter_opts, resolve_solver
+
+        opts = filter_opts(resolve_solver("screened"),
+                           {"epsilon_scaling": True, "n_scales": 3,
+                            "coarsen": 4})
+        assert opts == {"epsilon_scaling": True, "n_scales": 3}
+
+
 class TestReviewRegressions:
     def test_overwriting_an_alias_keeps_the_shadowed_builtin(self):
         register_solver("test-mymono", aliases=("monotone",),

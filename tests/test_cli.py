@@ -179,6 +179,50 @@ class TestExperimentCommand:
             assert args.artefact == artefact
 
 
+class TestBackendAndDtypeFlags:
+    def test_design_backend_flag_recorded_in_metadata(self, sample_csv,
+                                                      tmp_path, capsys):
+        data_path, _ = sample_csv
+        plan_path = tmp_path / "plan.npz"
+        assert main(["design", str(data_path), str(plan_path),
+                     "--n-states", "20", "--backend", "numpy"]) == 0
+        assert "backend numpy" in capsys.readouterr().out
+        from repro.core.serialize import load_plan
+        assert load_plan(plan_path).metadata["backend"] == "numpy"
+
+    def test_design_rejects_unknown_backend_before_reading_csv(
+            self, tmp_path, capsys):
+        assert main(["design", str(tmp_path / "absent.csv"),
+                     str(tmp_path / "plan.npz"),
+                     "--backend", "not-a-backend"]) == 1
+        err = capsys.readouterr().err
+        assert "unknown backend" in err
+
+    def test_design_plan_dtype_float32_round_trips(self, sample_csv,
+                                                   tmp_path, capsys):
+        data_path, _ = sample_csv
+        plan_path = tmp_path / "plan32.npz"
+        out_path = tmp_path / "repaired.csv"
+        assert main(["design", str(data_path), str(plan_path),
+                     "--n-states", "20", "--plan-dtype", "float32"]) == 0
+        import json
+
+        import numpy as np
+
+        with np.load(plan_path) as archive:
+            header = json.loads(
+                bytes(archive["__header__"]).decode("utf-8"))
+        assert header["plan_dtype"] == "float32"
+        assert main(["repair", str(plan_path), str(data_path),
+                     str(out_path), "--seed", "1"]) == 0
+        assert out_path.exists()
+
+    def test_backends_command_lists_numpy(self, capsys):
+        assert main(["backends"]) == 0
+        output = capsys.readouterr().out
+        assert "numpy (default)" in output
+
+
 class TestSolversCommand:
     def test_lists_registered_solvers(self, capsys):
         assert main(["solvers"]) == 0

@@ -53,10 +53,19 @@ def test_ot_module_doctests(module):
     assert results.failed == 0
 
 
+def test_backend_module_doctests():
+    import repro.core.backend
+
+    results = doctest.testmod(repro.core.backend, verbose=False)
+    assert results.attempted > 0, "repro.core.backend lost its doctests"
+    assert results.failed == 0
+
+
 def test_readme_exists_and_covers_the_basics():
     readme = (REPO_ROOT / "README.md").read_text()
     for needle in ("pip install", "repro.ot", "DistributionalRepairer",
-                   "--n-jobs", "--sparse-plans", "benchmarks/results"):
+                   "--n-jobs", "--sparse-plans", "--backend",
+                   "solve_many", "benchmarks/results"):
         assert needle in readme, f"README.md lost its {needle!r} section"
 
 
@@ -109,6 +118,28 @@ def test_solvers_doc_batched_column_matches_registry():
         f"batch_support(): doc says {documented}, registry says {live}")
 
 
+def test_solvers_doc_backend_column_matches_registry():
+    """The table's *Backend-aware* column mirrors
+    ``repro.ot.backend_support()``."""
+    table = (DOCS_DIR / "solvers.md").read_text()
+    documented = {}
+    for line in table.splitlines():
+        match = re.match(r"^\| `([a-z_0-9]+)` \|", line)
+        if not match:
+            continue
+        cells = [cell.strip() for cell in line.strip().strip("|").split("|")]
+        assert len(cells) >= 7, f"row {match.group(1)} lost its columns"
+        backend_cell = cells[5].lower()
+        assert backend_cell.startswith(("yes", "no")), (
+            f"row {match.group(1)}: Backend-aware column must start with "
+            f"yes/no, got {cells[5]!r}")
+        documented[match.group(1)] = backend_cell.startswith("yes")
+    live = repro.ot.backend_support()
+    assert documented == live, (
+        f"docs/solvers.md Backend-aware column out of sync with "
+        f"backend_support(): doc says {documented}, registry says {live}")
+
+
 def test_architecture_doc_matches_code():
     """Spot-check that docs/architecture.md names real things."""
     doc = (DOCS_DIR / "architecture.md").read_text()
@@ -127,6 +158,15 @@ def test_architecture_doc_matches_code():
     for name in EXECUTOR_NAMES:
         assert f"`{name}`" in doc, f"architecture.md lost executor {name}"
     assert "resolve_executor" in doc
+    # The compute-backend section names the real registry surface.
+    import repro.core.backend as backend_module
+    for name in ("get_backend", "available_backends", "ArrayBackend",
+                 "register_array_backend"):
+        assert name in doc, f"architecture.md lost backend API {name}"
+        assert hasattr(backend_module, name)
+    from repro.core.backend import BACKEND_NAMES
+    for name in BACKEND_NAMES:
+        assert f"`{name}`" in doc, f"architecture.md lost backend {name}"
 
 
 def test_version_matches_pyproject():
