@@ -73,6 +73,9 @@ def archive_sizes(screened_plan, tmp_path_factory):
         "v2_sparse_f32": save_plan(screened_plan,
                                    out / "v2_sparse_f32.npz",
                                    dtype="float32"),
+        "v2_sparse_i64": save_plan(screened_plan,
+                                   out / "v2_sparse_i64.npz",
+                                   index_dtype="int64"),
         "v1_dense": save_plan(dense, out / "v1_dense.npz"),
         "v1_dense_deflate": save_plan(dense, out / "v1_dense_deflate.npz",
                                       compress=True),
@@ -139,6 +142,26 @@ def test_float32_archive_smaller_and_tolerant(screened_plan,
                                        rtol=1e-6, atol=1e-9)
 
 
+def test_int32_indices_shrink_archive(screened_plan, archive_sizes):
+    """The index-width satellite: CSR index arrays default to int32
+    whenever the matrices fit (they always do at design scale), halving
+    the index bytes; forcing int64 restores the old layout and a
+    strictly larger file, while both load to identical plans."""
+    assert (archive_sizes["v2_sparse"].stat().st_size
+            < archive_sizes["v2_sparse_i64"].stat().st_size)
+    with np.load(archive_sizes["v2_sparse"]) as archive:
+        widths = {archive[key].dtype.name for key in archive.files
+                  if key.endswith(("_indices", "_indptr"))}
+    assert widths == {"int32"}
+    narrow = load_plan(archive_sizes["v2_sparse"])
+    wide = load_plan(archive_sizes["v2_sparse_i64"])
+    for key, feature_plan in screened_plan.feature_plans.items():
+        for s in feature_plan.s_values:
+            np.testing.assert_array_equal(
+                narrow.feature_plans[key].transports[s].toarray(),
+                wide.feature_plans[key].transports[s].toarray())
+
+
 def test_sparse_archive_round_trips(screened_plan, archive_sizes,
                                     paper_scale_split):
     sparse_path = archive_sizes["v2_sparse"]
@@ -197,12 +220,17 @@ def test_record_results(screened_plan, archive_sizes, design_timings):
         f"  v2 CSR sparse, float32    : "
         f"{sizes['v2_sparse_f32']:>12,} bytes  (--plan-dtype float32; "
         "plan data quantised, loaders up-convert, ~1e-7 round-trip)",
+        f"  v2 CSR sparse, int64 idx  : "
+        f"{sizes['v2_sparse_i64']:>12,} bytes  (--index-dtype int64; "
+        "int32 indices are the default whenever the matrices fit)",
         f"  storage shrink (dense vs sparse, plain)    : "
         f"{sizes['v1_dense'] / sizes['v2_sparse']:.1f}x",
         f"  storage shrink (dense vs sparse, deflated) : "
         f"{sizes['v1_dense_deflate'] / sizes['v2_sparse_deflate']:.2f}x",
         f"  archive shrink from float32 plan data      : "
         f"{sizes['v2_sparse'] / sizes['v2_sparse_f32']:.2f}x",
+        f"  archive shrink from int32 CSR indices      : "
+        f"{sizes['v2_sparse_i64'] / sizes['v2_sparse']:.2f}x",
         "  (deflate hides the dense format's O(n_Q^2) zeros on disk but "
         "not in RAM or load time)",
         "",

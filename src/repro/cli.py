@@ -4,6 +4,7 @@
 
 * ``experiment {table1,table2,fig3,fig4}`` — regenerate a paper artefact;
 * ``design`` — fit repair plans on a labelled CSV and save them;
+* ``serve`` — keep saved plans warm behind a multi-worker HTTP tier;
 * ``repair`` — apply saved plans to an archival CSV;
 * ``evaluate`` — measure the conditional-dependence metric of a CSV;
 * ``solvers`` — list the registered OT solvers ``--solver`` accepts.
@@ -166,10 +167,55 @@ def build_parser() -> argparse.ArgumentParser:
                         help="store transport plans CSR-sparse; cuts the "
                              "plan archive roughly n_Q-fold for screened/"
                              "exact designs")
+    design.add_argument("--index-dtype", default=None,
+                        choices=("int32", "int64"),
+                        help="width of the CSR index arrays in sparse "
+                             "archives (default: int32 whenever the "
+                             "matrices fit, int64 otherwise; loaders "
+                             "up-convert transparently)")
+    design.add_argument("--plan-shard", default=None, metavar="MODE",
+                        help="split the plan across several archive "
+                             "files plus a JSON manifest: 'u' (one per "
+                             "unprotected group), 'cell' (one per (u,k) "
+                             "cell), or an integer shard count; loaders "
+                             "and 'repro serve' read manifests "
+                             "transparently")
     design.add_argument("--compress", action="store_true",
                         help="deflate the plan archive (only worthwhile "
                              "for dense entropic plans; sparse archives "
                              "gain little)")
+
+    serve = commands.add_parser(
+        "serve", help="serve Algorithm-2 repairs from a saved plan "
+                      "over HTTP")
+    serve.add_argument("--plan", required=True,
+                       help=".npz plan archive or .manifest.json from "
+                            "--plan-shard")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8321)
+    serve.add_argument("--workers", type=int, default=1,
+                       help="worker processes sharing one listening "
+                            "socket; each memory-maps the same plan")
+    serve.add_argument("--no-mmap", action="store_true",
+                       help="read the plan eagerly instead of "
+                            "memory-mapping it (compressed archives "
+                            "fall back to eager reads automatically)")
+    serve.add_argument("--max-shards", type=int, default=None,
+                       help="bound on concurrently-resident shard files "
+                            "when serving a sharded plan (default: all)")
+    serve.add_argument("--rounding", default="stochastic",
+                       choices=("stochastic", "nearest"))
+    serve.add_argument("--output", default="sample",
+                       choices=("sample", "barycentric", "interpolated"))
+    serve.add_argument("--cache-size", type=int, default=256,
+                       help="bound on hot per-(u,s,k) repair kernels "
+                            "kept in the LRU cache")
+    serve.add_argument("--max-batch", type=int, default=32,
+                       help="flush a micro-batch at this many pending "
+                            "requests")
+    serve.add_argument("--max-wait", type=float, default=0.002,
+                       help="seconds a request may wait for batch "
+                            "companions before a flush")
 
     repair = commands.add_parser(
         "repair", help="repair an archival CSV with saved plans")
@@ -287,8 +333,12 @@ def _run_design(args) -> int:
         executor=args.executor, backend=args.backend,
         sparse_plans=args.sparse_plans)
     repairer.fit(research)
+    shard_by = args.plan_shard
+    if shard_by is not None and shard_by.lstrip("-").isdigit():
+        shard_by = int(shard_by)
     written = save_plan(repairer.plan, args.plan_file,
-                        compress=args.compress, dtype=args.plan_dtype)
+                        compress=args.compress, dtype=args.plan_dtype,
+                        index_dtype=args.index_dtype, shard_by=shard_by)
     metadata = repairer.plan.metadata
     n_sparse = metadata.get("n_sparse_transports", 0)
     print(f"designed {len(repairer.plan.feature_plans)} feature plans "
@@ -297,6 +347,18 @@ def _run_design(args) -> int:
           f"executor {metadata.get('executor', 'serial')}, "
           f"backend {metadata.get('backend', 'numpy')}) on "
           f"{len(research)} research rows -> {written}")
+    return 0
+
+
+def _run_serve(args) -> int:
+    # Imported lazily: offline commands shouldn't pay for http.server.
+    from .serve.server import serve as run_server
+
+    run_server(args.plan, host=args.host, port=args.port,
+               workers=args.workers, mmap=not args.no_mmap,
+               max_shards=args.max_shards, rounding=args.rounding,
+               output=args.output, cache_size=args.cache_size,
+               max_batch=args.max_batch, max_wait=args.max_wait)
     return 0
 
 
@@ -327,6 +389,7 @@ def main(argv=None) -> int:
     handlers = {
         "experiment": _run_experiment,
         "design": _run_design,
+        "serve": _run_serve,
         "repair": _run_repair,
         "evaluate": _run_evaluate,
         "solvers": _run_solvers,

@@ -25,12 +25,14 @@ from .._validation import as_rng
 from ..data.dataset import FairnessDataset
 from ..data.streaming import ArchiveStream
 from ..exceptions import NotFittedError, ValidationError
+from ..ot.coupling import conditional_cumulative, sample_conditional_rows
 from ..ot.registry import resolve_solver
 from .backend import get_backend
 from .design import design_repair
 from .plan import FeaturePlan, RepairPlan
 
 __all__ = ["repair_feature_values", "repair_dataset",
+           "prepare_feature_repair", "PreparedFeatureRepair",
            "DistributionalRepairer"]
 
 #: Supported rounding modes for the grid-cell selection step.
@@ -99,6 +101,151 @@ def repair_feature_values(values, feature_plan: FeaturePlan, s: int, *,
         jitter = generator.uniform(-0.5, 0.5, size=xs.size) * grid.spacing
         repaired = np.clip(repaired + jitter, grid.low, grid.high)
     return repaired
+
+
+class PreparedFeatureRepair:
+    """Validation-free Algorithm-2 kernel for one ``(u, s, k)`` cell.
+
+    :func:`repair_feature_values` re-validates its inputs on every call
+    (mode strings, array coercion, finiteness, transport lookup) —
+    negligible for one batch repair, but pure overhead in a serving
+    loop that dispatches the same cell thousands of times per second on
+    already-validated rows.  Preparing a cell hoists all of that out of
+    the hot path **and owns its sampling state** (the dense row-CDF
+    table or the sparse conditional sampler), so a bounded cache of
+    prepared cells really bounds the memory the tables occupy —
+    :class:`FeaturePlan`'s internal caches are bypassed entirely.
+
+    The kernel is **bit-identical** to :func:`repair_feature_values`:
+    same operations, same random-stream consumption (asserted by
+    ``tests/core/test_repair.py``).  Randomness is split out so a
+    micro-batcher can draw each request's variates from its own
+    generator (in the exact order the one-request path would) and still
+    apply the deterministic part to many requests' values in one
+    vectorised dispatch:
+
+    * :meth:`draw` consumes from a generator exactly what
+      :func:`repair_feature_values` would for ``n`` values;
+    * :meth:`apply` maps ``(values, variates) -> repaired`` with no
+      randomness and no validation — concatenation-safe, because every
+      operation is element-wise over the batch;
+    * calling the object does both, for the one-request case.
+
+    Callers must pre-validate: ``values`` is a finite float64 1-D array
+    (non-finite entries produce garbage here instead of the facade's
+    :class:`ValidationError`).
+    """
+
+    __slots__ = ("rounding", "output", "n_states", "_nodes", "_low",
+                 "_high", "_spacing", "_expected", "_cdfs", "_sparse")
+
+    def __init__(self, feature_plan: FeaturePlan, s: int, *,
+                 rounding: str = "stochastic",
+                 output: str = "sample") -> None:
+        if rounding not in ROUNDING_MODES:
+            raise ValidationError(
+                f"unknown rounding {rounding!r}; expected {ROUNDING_MODES}")
+        if output not in OUTPUT_MODES:
+            raise ValidationError(
+                f"unknown output {output!r}; expected {OUTPUT_MODES}")
+        if s not in feature_plan.transports:
+            raise ValidationError(
+                f"no transport plan for s={s}; have "
+                f"{feature_plan.s_values}")
+        grid = feature_plan.grid
+        self.rounding = rounding
+        self.output = output
+        self.n_states = grid.n_states
+        self._nodes = grid.nodes
+        self._low = grid.low
+        self._high = grid.high
+        self._spacing = grid.spacing
+        self._expected = None
+        self._cdfs = None
+        self._sparse = None
+        transport = feature_plan.transports[s]
+        if output == "barycentric":
+            self._expected = feature_plan.expected_targets(s)
+        elif transport.is_sparse:
+            conditionals = transport.conditional_matrix()
+            self._sparse = (conditionals,
+                            conditional_cumulative(conditionals))
+        else:
+            self._cdfs = np.cumsum(transport.conditional_matrix(), axis=1)
+
+    @property
+    def nbytes(self) -> int:
+        """Approximate bytes of owned sampling state (cache accounting)."""
+        total = 0
+        if self._expected is not None:
+            total += self._expected.nbytes
+        if self._cdfs is not None:
+            total += self._cdfs.nbytes
+        if self._sparse is not None:
+            conditionals, cumulative = self._sparse
+            total += (conditionals.data.nbytes
+                      + conditionals.indices.nbytes
+                      + conditionals.indptr.nbytes + cumulative.nbytes)
+        return total
+
+    def draw(self, rng: np.random.Generator, n: int) -> tuple:
+        """The ``(advance, draws, jitter)`` uniform variates ``n`` values
+        need, consumed from ``rng`` in exactly the order (and only the
+        amounts) :func:`repair_feature_values` consumes them."""
+        advance = rng.random(n) if self.rounding == "stochastic" else None
+        draws = jitter = None
+        if self.output != "barycentric":
+            draws = rng.random(n)
+            if self.output == "interpolated":
+                jitter = rng.uniform(-0.5, 0.5, size=n)
+        return advance, draws, jitter
+
+    def apply(self, values: np.ndarray, variates: tuple) -> np.ndarray:
+        """Deterministic repair of pre-validated ``values`` under the
+        pre-drawn ``variates``.  Element-wise, hence concatenation-safe
+        across requests."""
+        advance_u, draws, jitter = variates
+        nodes = self._nodes
+        clipped = np.clip(values, self._low, self._high)
+        idx = np.searchsorted(nodes, clipped, side="right") - 1
+        idx = np.clip(idx, 0, self.n_states - 2)
+        gaps = nodes[idx + 1] - nodes[idx]
+        tau = np.clip((clipped - nodes[idx]) / gaps, 0.0, 1.0)
+        if self.rounding == "stochastic":
+            advance = (advance_u < tau).astype(int)
+        else:
+            advance = (tau >= 0.5).astype(int)
+        rows = np.minimum(idx + advance, self.n_states - 1)
+        if self.output == "barycentric":
+            return self._expected[rows]
+        if self._sparse is not None:
+            conditionals, cumulative = self._sparse
+            states = sample_conditional_rows(conditionals, rows, draws,
+                                             cumulative=cumulative)
+        else:
+            # `_cdfs` is shared state; only mutate the np.take copy.
+            row_cdfs = np.take(self._cdfs, rows, axis=0)
+            row_cdfs[:, -1] = 1.0  # guard round-off (< 1.0 row sums)
+            states = (row_cdfs < draws[:, None]).sum(axis=1)
+            states = np.minimum(states, self.n_states - 1)
+        repaired = nodes[states]
+        if self.output == "interpolated":
+            repaired = np.clip(repaired + jitter * self._spacing,
+                               self._low, self._high)
+        return repaired
+
+    def __call__(self, values: np.ndarray,
+                 rng: np.random.Generator) -> np.ndarray:
+        return self.apply(values, self.draw(rng, values.size))
+
+
+def prepare_feature_repair(feature_plan: FeaturePlan, s: int, *,
+                           rounding: str = "stochastic",
+                           output: str = "sample") -> PreparedFeatureRepair:
+    """Hoist one cell's validation and sampling-state construction out
+    of the Algorithm-2 hot path (see :class:`PreparedFeatureRepair`)."""
+    return PreparedFeatureRepair(feature_plan, s, rounding=rounding,
+                                 output=output)
 
 
 def repair_dataset(dataset: FairnessDataset, plan: RepairPlan, *,

@@ -1,0 +1,70 @@
+"""A minimal stdlib client for the ``repro serve`` endpoints.
+
+``urllib``-based so the benchmark load generator and the e2e tests run
+without any HTTP dependency.  :func:`repair_remote` is the convenience
+wrapper: dataset in, repaired feature matrix out, bit-identical to the
+offline ``repair_dataset`` path when a seed is supplied.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+import numpy as np
+
+from ..data.dataset import FairnessDataset
+from ..exceptions import DataError
+
+__all__ = ["get_json", "post_json", "repair_payload", "repair_remote"]
+
+
+def _request(url: str, data: bytes | None, timeout: float) -> dict:
+    request = urllib.request.Request(
+        url, data=data,
+        headers={"Content-Type": "application/json"} if data else {})
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return json.loads(response.read())
+    except urllib.error.HTTPError as exc:
+        try:
+            detail = json.loads(exc.read()).get("error", "")
+        except Exception:
+            detail = ""
+        raise DataError(
+            f"serve request to {url} failed with HTTP {exc.code}"
+            + (f": {detail}" if detail else "")) from exc
+    except urllib.error.URLError as exc:
+        raise DataError(f"serve request to {url} failed: {exc.reason}") \
+            from exc
+
+
+def get_json(url: str, *, timeout: float = 10.0) -> dict:
+    """GET a JSON endpoint (``/healthz``, ``/stats``)."""
+    return _request(url, None, timeout)
+
+
+def post_json(url: str, payload: dict, *, timeout: float = 30.0) -> dict:
+    """POST a JSON body and decode the JSON response."""
+    return _request(url, json.dumps(payload).encode("utf-8"), timeout)
+
+
+def repair_payload(dataset: FairnessDataset, *,
+                   seed: int | None = None) -> dict:
+    """The ``POST /repair`` body for ``dataset``."""
+    payload = {"features": dataset.features.tolist(),
+               "s": dataset.s.tolist(), "u": dataset.u.tolist()}
+    if seed is not None:
+        payload["seed"] = int(seed)
+    return payload
+
+
+def repair_remote(base_url: str, dataset: FairnessDataset, *,
+                  seed: int | None = None,
+                  timeout: float = 30.0) -> np.ndarray:
+    """Repair ``dataset`` through a running server; returns the matrix."""
+    response = post_json(base_url.rstrip("/") + "/repair",
+                         repair_payload(dataset, seed=seed),
+                         timeout=timeout)
+    return np.asarray(response["features"], dtype=float)

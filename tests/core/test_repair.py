@@ -6,7 +6,8 @@ import numpy as np
 import pytest
 
 from repro.core.design import design_feature_plan, design_repair
-from repro.core.repair import (DistributionalRepairer, repair_dataset,
+from repro.core.repair import (DistributionalRepairer,
+                               prepare_feature_repair, repair_dataset,
                                repair_feature_values)
 from repro.data.simulated import paper_simulation_spec
 from repro.data.streaming import ArchiveStream
@@ -211,6 +212,98 @@ class TestDistributionalRepairer:
         repairer.fit(paper_split.research)
         assert repairer.plan.metadata["marginal_estimator"] == "linear"
         assert repairer.plan.feature_plan(0, 0).grid.n_states == 12
+
+
+class TestPreparedFeatureRepair:
+    """The pre-validated fast path: validate once, repair many times,
+    bit-identical to ``repair_feature_values`` call-for-call."""
+
+    @pytest.mark.parametrize("rounding,output", [
+        ("stochastic", "sample"),
+        ("nearest", "sample"),
+        ("stochastic", "barycentric"),
+        ("stochastic", "interpolated"),
+        ("nearest", "interpolated"),
+    ])
+    def test_matches_slow_path_bitwise(self, fitted_feature_plan, rng,
+                                       rounding, output):
+        values = rng.normal(size=300)
+        prepared = prepare_feature_repair(fitted_feature_plan, 0,
+                                          rounding=rounding, output=output)
+        fast = prepared(values, np.random.default_rng(17))
+        slow = repair_feature_values(values, fitted_feature_plan, 0,
+                                     rng=np.random.default_rng(17),
+                                     rounding=rounding, output=output)
+        np.testing.assert_array_equal(fast, slow)
+
+    def test_sparse_plan_matches_slow_path(self, rng):
+        # Screened designs produce CSR transports; the prepared sampler
+        # must agree with the slow path there too.
+        research = paper_simulation_spec().sample(400, rng=rng)
+        plan = design_repair(research, 30, solver="screened")
+        feature_plan = next(iter(plan.feature_plans.values()))
+        values = rng.normal(size=120)
+        prepared = prepare_feature_repair(feature_plan, 1)
+        np.testing.assert_array_equal(
+            prepared(values, np.random.default_rng(4)),
+            repair_feature_values(values, feature_plan, 1,
+                                  rng=np.random.default_rng(4)))
+
+    def test_merged_apply_equals_separate_applies(self,
+                                                  fitted_feature_plan,
+                                                  rng):
+        # The property micro-batching rests on: applying the kernel to a
+        # concatenation of per-request (values, variates) equals the
+        # per-request applications — the kernel is element-wise.
+        prepared = prepare_feature_repair(fitted_feature_plan, 0,
+                                          output="interpolated")
+        chunks = [rng.normal(size=n) for n in (40, 25, 60)]
+        variates = [prepared.draw(np.random.default_rng(seed), chunk.size)
+                    for seed, chunk in enumerate(chunks)]
+        separate = [prepared.apply(chunk, draw)
+                    for chunk, draw in zip(chunks, variates)]
+        merged = prepared.apply(
+            np.concatenate(chunks),
+            tuple(np.concatenate([draw[j] for draw in variates])
+                  for j in range(3)))
+        np.testing.assert_array_equal(merged, np.concatenate(separate))
+
+    def test_draw_consumes_stream_like_slow_path(self,
+                                                 fitted_feature_plan):
+        # Same generator state afterwards => drop-in inside the
+        # repair_dataset loop without perturbing later cells.
+        n = 64
+        prepared = prepare_feature_repair(fitted_feature_plan, 0)
+        fast_rng = np.random.default_rng(8)
+        slow_rng = np.random.default_rng(8)
+        prepared.draw(fast_rng, n)
+        repair_feature_values(np.zeros(n), fitted_feature_plan, 0,
+                              rng=slow_rng)
+        assert fast_rng.random() == slow_rng.random()
+
+    def test_empty_values(self, fitted_feature_plan):
+        prepared = prepare_feature_repair(fitted_feature_plan, 0)
+        out = prepared(np.array([]), np.random.default_rng(0))
+        assert out.size == 0
+
+    def test_nbytes_reports_owned_state(self, fitted_feature_plan):
+        sample = prepare_feature_repair(fitted_feature_plan, 0)
+        barycentric = prepare_feature_repair(fitted_feature_plan, 0,
+                                             output="barycentric")
+        assert sample.nbytes > 0
+        # The dense row-CDF table dwarfs the expected-target vector.
+        assert sample.nbytes > barycentric.nbytes
+
+    def test_validation_happens_at_prepare_time(self,
+                                                fitted_feature_plan):
+        with pytest.raises(ValidationError, match="rounding"):
+            prepare_feature_repair(fitted_feature_plan, 0,
+                                   rounding="psychic")
+        with pytest.raises(ValidationError, match="output"):
+            prepare_feature_repair(fitted_feature_plan, 0,
+                                   output="hologram")
+        with pytest.raises(ValidationError):
+            prepare_feature_repair(fitted_feature_plan, 7)
 
 
 class TestConditionalCdfCaching:

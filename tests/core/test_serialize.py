@@ -10,7 +10,8 @@ import pytest
 from repro.core.design import design_repair
 from repro.core.plan import FeaturePlan, RepairPlan
 from repro.core.repair import repair_dataset
-from repro.core.serialize import FORMAT_VERSION, load_plan, save_plan
+from repro.core.serialize import (FORMAT_VERSION, ShardedPlanArchive,
+                                  load_plan, save_plan)
 from repro.density.grid import InterpolationGrid
 from repro.exceptions import DataError, ValidationError
 from repro.ot.coupling import TransportPlan
@@ -385,6 +386,182 @@ class TestV1BackwardCompat:
         b = repair_dataset(paper_split.archive, loaded,
                            rng=np.random.default_rng(11))
         np.testing.assert_allclose(a.features, b.features)
+
+
+class TestMappedArchives:
+    """``load_plan(..., mmap=True)``: plan bytes served from the page
+    cache through zero-copy views instead of eager reads."""
+
+    def test_mmap_load_bitwise_equal(self, fitted_plan, tmp_path):
+        written = save_plan(fitted_plan, tmp_path / "plan.npz")
+        mapped = load_plan(written, mmap=True)
+        for key, original in fitted_plan.feature_plans.items():
+            restored = mapped.feature_plans[key]
+            np.testing.assert_array_equal(restored.grid.nodes,
+                                          original.grid.nodes)
+            for s in (0, 1):
+                np.testing.assert_array_equal(
+                    restored.transports[s].toarray(),
+                    original.transports[s].toarray())
+
+    def test_mmap_arrays_are_views_of_the_map(self, fitted_plan,
+                                              tmp_path):
+        import mmap as mmap_module
+
+        written = save_plan(fitted_plan, tmp_path / "plan.npz")
+        mapped = load_plan(written, mmap=True)
+        cell = next(iter(mapped.feature_plans.values()))
+        array = cell.grid.nodes
+        base = array
+        while getattr(base, "base", None) is not None:
+            base = base.base
+        assert isinstance(base, memoryview)
+        assert isinstance(base.obj, mmap_module.mmap)
+
+    def test_mmap_repairs_identically(self, fitted_plan, paper_split,
+                                      tmp_path):
+        written = save_plan(fitted_plan, tmp_path / "plan.npz")
+        a = repair_dataset(paper_split.archive, load_plan(written),
+                           rng=np.random.default_rng(5))
+        b = repair_dataset(paper_split.archive,
+                           load_plan(written, mmap=True),
+                           rng=np.random.default_rng(5))
+        np.testing.assert_array_equal(a.features, b.features)
+
+    def test_compressed_archive_falls_back_to_eager_read(self,
+                                                         fitted_plan,
+                                                         tmp_path):
+        # Deflated members cannot be viewed in place; mmap loads must
+        # still succeed (eagerly) and match.
+        written = save_plan(fitted_plan, tmp_path / "packed.npz",
+                            compress=True)
+        mapped = load_plan(written, mmap=True)
+        plain = load_plan(written)
+        for key in fitted_plan.feature_plans:
+            for s in (0, 1):
+                np.testing.assert_array_equal(
+                    mapped.feature_plans[key].transports[s].toarray(),
+                    plain.feature_plans[key].transports[s].toarray())
+
+
+class TestIndexDtypes:
+    """Sparse archives store int32 CSR indices whenever the matrices
+    fit; loaders hand scipy whichever width was stored."""
+
+    def _sparse_plan(self, n_nodes=40):
+        nodes = np.linspace(0.0, 1.0, n_nodes)
+        return RepairPlan(
+            feature_plans={(0, 0): _feature_plan(nodes, (0, 1),
+                                                 sparse=True)},
+            n_features=1, t=0.5)
+
+    def test_default_stores_int32(self, tmp_path):
+        written = save_plan(self._sparse_plan(), tmp_path / "plan.npz")
+        with np.load(written) as archive:
+            index_keys = [key for key in archive.files
+                          if key.endswith(("_indices", "_indptr"))]
+            assert index_keys
+            for key in index_keys:
+                assert archive[key].dtype == np.int32
+
+    def test_forced_int64_honoured(self, tmp_path):
+        written = save_plan(self._sparse_plan(), tmp_path / "plan.npz",
+                            index_dtype="int64")
+        with np.load(written) as archive:
+            for key in archive.files:
+                if key.endswith(("_indices", "_indptr")):
+                    assert archive[key].dtype == np.int64
+
+    @pytest.mark.parametrize("index_dtype", [None, "int32", "int64"])
+    def test_round_trip_identical_either_width(self, tmp_path,
+                                               index_dtype):
+        plan = self._sparse_plan()
+        written = save_plan(plan, tmp_path / "plan.npz",
+                            index_dtype=index_dtype)
+        loaded = load_plan(written)
+        for s in (0, 1):
+            np.testing.assert_array_equal(
+                loaded.feature_plans[(0, 0)].transports[s].toarray(),
+                plan.feature_plans[(0, 0)].transports[s].toarray())
+
+    def test_int32_archive_is_smaller(self, paper_split, tmp_path):
+        plan = design_repair(paper_split.research, 40, solver="screened")
+        narrow = save_plan(plan, tmp_path / "i32.npz")
+        wide = save_plan(plan, tmp_path / "i64.npz", index_dtype="int64")
+        assert narrow.stat().st_size < wide.stat().st_size
+
+    def test_unsupported_index_dtype_rejected(self, tmp_path):
+        with pytest.raises(ValidationError, match="index dtype"):
+            save_plan(self._sparse_plan(), tmp_path / "plan.npz",
+                      index_dtype="int16")
+
+
+class TestShardedArchives:
+    """``save_plan(..., shard_by=...)``: one design split across several
+    archives plus a manifest that loaders read transparently."""
+
+    @pytest.fixture
+    def multigroup_plan(self, rng):
+        from repro.data.simulated import paper_simulation_spec
+
+        research = paper_simulation_spec().sample(500, rng=rng)
+        return design_repair(research, 16)
+
+    @pytest.mark.parametrize("shard_by", ["u", "cell", 3])
+    def test_manifest_round_trip(self, multigroup_plan, tmp_path,
+                                 shard_by):
+        manifest = save_plan(multigroup_plan, tmp_path / "plan.npz",
+                             shard_by=shard_by)
+        assert manifest.name.endswith(".manifest.json")
+        loaded = load_plan(manifest)
+        assert set(loaded.feature_plans) == \
+            set(multigroup_plan.feature_plans)
+        for key, original in multigroup_plan.feature_plans.items():
+            for s in (0, 1):
+                np.testing.assert_array_equal(
+                    loaded.feature_plans[key].transports[s].toarray(),
+                    original.transports[s].toarray())
+
+    def test_sharded_repairs_identically(self, multigroup_plan,
+                                         paper_split, tmp_path):
+        manifest = save_plan(multigroup_plan, tmp_path / "plan.npz",
+                             shard_by="u")
+        a = repair_dataset(paper_split.archive, multigroup_plan,
+                           rng=np.random.default_rng(21))
+        b = repair_dataset(paper_split.archive, load_plan(manifest),
+                           rng=np.random.default_rng(21))
+        np.testing.assert_array_equal(a.features, b.features)
+
+    def test_lazy_archive_bounds_resident_shards(self, multigroup_plan,
+                                                 tmp_path):
+        manifest = save_plan(multigroup_plan, tmp_path / "plan.npz",
+                             shard_by="u")
+        archive = ShardedPlanArchive(manifest, max_shards=1)
+        u_values = sorted(archive.u_values)
+        assert len(u_values) >= 2
+        archive.feature_plan(u_values[0], 0)
+        archive.feature_plan(u_values[1], 0)
+        stats = archive.stats()
+        assert stats["resident"] == 1
+        assert stats["loads"] == 2
+        assert stats["evictions"] == 1
+
+    def test_lazy_cells_match_eager_load(self, multigroup_plan,
+                                         tmp_path):
+        manifest = save_plan(multigroup_plan, tmp_path / "plan.npz",
+                             shard_by="cell")
+        archive = ShardedPlanArchive(manifest, mmap=True)
+        for (u, k), original in multigroup_plan.feature_plans.items():
+            cell = archive.feature_plan(u, k)
+            for s in (0, 1):
+                np.testing.assert_array_equal(
+                    cell.transports[s].toarray(),
+                    original.transports[s].toarray())
+
+    def test_bad_shard_mode_rejected(self, multigroup_plan, tmp_path):
+        with pytest.raises(ValidationError, match="shard_by"):
+            save_plan(multigroup_plan, tmp_path / "plan.npz",
+                      shard_by="zodiac")
 
 
 class TestDiagnosticsPersistence:

@@ -1,0 +1,154 @@
+"""Tests for the request micro-batcher."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.serve.batcher import MicroBatcher
+
+
+def _echo_dispatch(record):
+    def dispatch(items):
+        record.append(list(items))
+        return [item * 10 for item in items]
+    return dispatch
+
+
+class TestFlushOnSize:
+    def test_full_batch_dispatches_together(self):
+        batches = []
+        batcher = MicroBatcher(_echo_dispatch(batches), max_batch=4,
+                               max_wait=30.0)  # timeout can't be the trigger
+        results = [None] * 4
+
+        def submit(i):
+            results[i] = batcher.submit(i)
+
+        threads = [threading.Thread(target=submit, args=(i,))
+                   for i in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10)
+        assert results == [0, 10, 20, 30]
+        assert len(batches) == 1 and sorted(batches[0]) == [0, 1, 2, 3]
+        stats = batcher.stats()
+        assert stats["size_flushes"] == 1
+        assert stats["timeout_flushes"] == 0
+        assert stats["max_batch_seen"] == 4
+
+    def test_overflow_rolls_into_next_batch(self):
+        batches = []
+        batcher = MicroBatcher(_echo_dispatch(batches), max_batch=2,
+                               max_wait=0.05)
+        results = []
+        lock = threading.Lock()
+
+        def submit(i):
+            value = batcher.submit(i)
+            with lock:
+                results.append((i, value))
+
+        threads = [threading.Thread(target=submit, args=(i,))
+                   for i in range(5)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10)
+        assert sorted(results) == [(i, i * 10) for i in range(5)]
+        assert sum(len(batch) for batch in batches) == 5
+
+
+class TestFlushOnTimeout:
+    def test_lone_item_flushes_after_max_wait(self):
+        batches = []
+        batcher = MicroBatcher(_echo_dispatch(batches), max_batch=64,
+                               max_wait=0.01)
+        start = time.perf_counter()
+        assert batcher.submit(7) == 70
+        elapsed = time.perf_counter() - start
+        assert elapsed < 5.0  # returned promptly, not hung
+        assert batches == [[7]]
+        assert batcher.stats()["timeout_flushes"] == 1
+
+    def test_zero_wait_still_dispatches(self):
+        batches = []
+        batcher = MicroBatcher(_echo_dispatch(batches), max_batch=64,
+                               max_wait=0.0)
+        assert batcher.submit(1) == 10
+
+    def test_explicit_flush(self):
+        # flush() drains without a submitter; nothing pending is a no-op.
+        batches = []
+        batcher = MicroBatcher(_echo_dispatch(batches), max_batch=4,
+                               max_wait=60.0)
+        batcher.flush()
+        assert batches == []
+
+
+class TestErrorDelivery:
+    def test_per_item_exception_raised_in_owner_only(self):
+        def dispatch(items):
+            return [ValueError(f"bad {item}") if item == 1 else item
+                    for item in items]
+
+        batcher = MicroBatcher(dispatch, max_batch=2, max_wait=10.0)
+        outcomes = {}
+
+        def submit(i):
+            try:
+                outcomes[i] = batcher.submit(i)
+            except ValueError as exc:
+                outcomes[i] = exc
+
+        threads = [threading.Thread(target=submit, args=(i,))
+                   for i in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10)
+        assert outcomes[0] == 0
+        assert isinstance(outcomes[1], ValueError)
+
+    def test_dispatch_failure_fails_whole_batch(self):
+        def dispatch(items):
+            raise RuntimeError("engine down")
+
+        batcher = MicroBatcher(dispatch, max_batch=8, max_wait=0.005)
+        with pytest.raises(RuntimeError, match="engine down"):
+            batcher.submit(1)
+
+    def test_length_mismatch_detected(self):
+        batcher = MicroBatcher(lambda items: [], max_batch=8,
+                               max_wait=0.005)
+        with pytest.raises(RuntimeError, match="results"):
+            batcher.submit(1)
+
+
+class TestStats:
+    def test_mean_batch(self):
+        batcher = MicroBatcher(lambda items: list(items), max_batch=8,
+                               max_wait=0.001)
+        for i in range(3):
+            batcher.submit(i)
+        stats = batcher.stats()
+        assert stats["items"] == 3
+        assert stats["flushes"] == 3
+        assert stats["mean_batch"] == pytest.approx(1.0)
+        assert stats["max_batch"] == 8
+        assert stats["max_wait_s"] == 0.001
+
+
+class TestValidation:
+    @pytest.mark.parametrize("max_batch", [0, -3, 1.5])
+    def test_bad_max_batch(self, max_batch):
+        with pytest.raises(ValidationError, match="max_batch"):
+            MicroBatcher(lambda items: items, max_batch=max_batch)
+
+    def test_negative_max_wait(self):
+        with pytest.raises(ValidationError, match="max_wait"):
+            MicroBatcher(lambda items: items, max_wait=-0.1)

@@ -1,0 +1,144 @@
+"""End-to-end tests for the HTTP serving tier (in-process server)."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.design import design_repair
+from repro.core.repair import repair_dataset
+from repro.data.dataset import FairnessDataset
+from repro.exceptions import DataError
+from repro.serve import BackgroundServer, RepairService
+from repro.serve.client import (get_json, post_json, repair_payload,
+                                repair_remote)
+
+
+@pytest.fixture(scope="module")
+def designed():
+    rng = np.random.default_rng(7)
+    n = 700
+    u = rng.integers(0, 2, size=n)
+    s = rng.integers(0, 2, size=n)
+    features = rng.normal(size=(n, 2)) + s[:, None]
+    research = FairnessDataset(features[:500], s[:500], u[:500])
+    queries = FairnessDataset(features[500:], s[500:], u[500:])
+    return design_repair(research, 16), queries
+
+
+@pytest.fixture()
+def server(designed):
+    plan, _ = designed
+    service = RepairService(plan)
+    with BackgroundServer(service, max_batch=8, max_wait=0.01) as bg:
+        yield bg
+
+
+class TestEndpoints:
+    def test_healthz(self, server):
+        health = get_json(server.url + "/healthz")
+        assert health["status"] == "ok"
+        assert health["uptime_s"] >= 0
+
+    def test_stats_shape(self, designed, server):
+        _, queries = designed
+        repair_remote(server.url, queries, seed=1)
+        stats = get_json(server.url + "/stats")
+        assert stats["service"]["requests"] == 1
+        assert stats["service"]["rows"] == len(queries)
+        assert stats["batcher"]["flushes"] >= 1
+        assert stats["latency"]["count"] == 1
+        assert stats["latency"]["p50_ms"] > 0
+        assert stats["latency"]["p99_ms"] >= stats["latency"]["p50_ms"]
+
+    def test_unknown_path_404(self, server):
+        with pytest.raises(DataError, match="404"):
+            get_json(server.url + "/nope")
+        with pytest.raises(DataError, match="404"):
+            post_json(server.url + "/nope", {})
+
+
+class TestRepairEndpoint:
+    def test_seeded_response_bit_identical_to_offline(self, designed,
+                                                      server):
+        plan, queries = designed
+        reference = repair_dataset(queries, plan,
+                                   rng=np.random.default_rng(99)).features
+        got = repair_remote(server.url, queries, seed=99)
+        # Over-the-wire JSON floats round-trip via repr: exact equality.
+        np.testing.assert_array_equal(got, reference)
+
+    def test_concurrent_clients_all_bit_identical(self, designed, server):
+        plan, queries = designed
+        n_clients = 6
+        chunk = len(queries) // n_clients
+        outcomes = [None] * n_clients
+
+        def client(i):
+            rows = slice(i * chunk, (i + 1) * chunk)
+            subset = FairnessDataset(queries.features[rows],
+                                     queries.s[rows], queries.u[rows])
+            reference = repair_dataset(
+                subset, plan,
+                rng=np.random.default_rng(1000 + i)).features
+            got = repair_remote(server.url, subset, seed=1000 + i)
+            outcomes[i] = np.array_equal(got, reference)
+
+        threads = [threading.Thread(target=client, args=(i,))
+                   for i in range(n_clients)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert outcomes == [True] * n_clients
+        stats = get_json(server.url + "/stats")
+        assert stats["service"]["requests"] == n_clients
+        assert stats["service"]["errors"] == 0
+
+    def test_unseeded_request_served(self, designed, server):
+        _, queries = designed
+        got = repair_remote(server.url, queries)
+        assert got.shape == queries.features.shape
+        assert np.all(np.isfinite(got))
+
+    def test_validation_error_maps_to_400(self, designed, server):
+        _, queries = designed
+        payload = repair_payload(queries, seed=0)
+        payload["features"] = [row[:1] for row in payload["features"]]
+        with pytest.raises(DataError, match="400"):
+            post_json(server.url + "/repair", payload)
+        # The server survives the bad request.
+        assert get_json(server.url + "/healthz")["status"] == "ok"
+
+    def test_malformed_body_maps_to_400(self, server):
+        with pytest.raises(DataError, match="400"):
+            post_json(server.url + "/repair", {"features": "garbage"})
+
+
+class TestBatching:
+    def test_concurrent_requests_share_flushes(self, designed):
+        plan, queries = designed
+        service = RepairService(plan)
+        # A wait generous enough that all threads join one batch.
+        with BackgroundServer(service, max_batch=64,
+                              max_wait=0.25) as server:
+            n_clients = 5
+
+            def client(i):
+                rows = slice(i * 20, (i + 1) * 20)
+                subset = FairnessDataset(queries.features[rows],
+                                         queries.s[rows], queries.u[rows])
+                repair_remote(server.url, subset, seed=i)
+
+            threads = [threading.Thread(target=client, args=(i,))
+                       for i in range(n_clients)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=30)
+            stats = get_json(server.url + "/stats")
+        assert stats["batcher"]["items"] == n_clients
+        assert stats["batcher"]["flushes"] < n_clients
+        assert stats["batcher"]["max_batch_seen"] >= 2

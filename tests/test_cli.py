@@ -70,10 +70,18 @@ class TestParser:
         parser = build_parser()
         for argv in (["experiment", "table1"],
                      ["design", "r.csv", "p.npz"],
+                     ["serve", "--plan", "p.npz"],
                      ["repair", "p.npz", "a.csv", "o.csv"],
                      ["evaluate", "d.csv"]):
             args = parser.parse_args(argv)
             assert args.command == argv[0]
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve", "--plan", "p.npz"])
+        assert args.workers == 1
+        assert args.port == 8321
+        assert args.max_batch == 32
+        assert not args.no_mmap
 
     def test_experiment_choices_enforced(self):
         parser = build_parser()
@@ -286,3 +294,43 @@ class TestSolversCommand:
         assert isinstance(opts["coarsen"], int)
         assert isinstance(opts["epsilon"], float)
         assert opts["raise_on_failure"] is False
+
+
+class TestServeFlags:
+    def test_design_plan_shard_writes_manifest(self, sample_csv,
+                                               tmp_path, capsys):
+        from repro.core.serialize import load_plan
+
+        data_path, _ = sample_csv
+        out = tmp_path / "plan.npz"
+        assert main(["design", str(data_path), str(out), "--n-states",
+                     "16", "--plan-shard", "u"]) == 0
+        manifest = tmp_path / "plan.manifest.json"
+        assert manifest.exists()
+        assert str(manifest) in capsys.readouterr().out
+        assert load_plan(manifest).n_features >= 1
+
+    def test_design_plan_shard_integer_count(self, sample_csv, tmp_path):
+        data_path, _ = sample_csv
+        assert main(["design", str(data_path),
+                     str(tmp_path / "plan.npz"), "--n-states", "16",
+                     "--plan-shard", "2"]) == 0
+        assert (tmp_path / "plan.manifest.json").exists()
+
+    def test_design_index_dtype_int64(self, sample_csv, tmp_path):
+        data_path, _ = sample_csv
+        out = tmp_path / "plan.npz"
+        assert main(["design", str(data_path), str(out), "--n-states",
+                     "16", "--sparse-plans", "--index-dtype",
+                     "int64"]) == 0
+        with np.load(out) as archive:
+            index_keys = [key for key in archive.files
+                          if key.endswith("_indices")]
+            assert index_keys
+            assert all(archive[key].dtype == np.int64
+                       for key in index_keys)
+
+    def test_serve_missing_plan_fails_cleanly(self, tmp_path, capsys):
+        code = main(["serve", "--plan", str(tmp_path / "absent.npz")])
+        assert code == 1
+        assert "not found" in capsys.readouterr().err

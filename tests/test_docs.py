@@ -65,7 +65,8 @@ def test_readme_exists_and_covers_the_basics():
     readme = (REPO_ROOT / "README.md").read_text()
     for needle in ("pip install", "repro.ot", "DistributionalRepairer",
                    "--n-jobs", "--sparse-plans", "--backend",
-                   "solve_many", "benchmarks/results"):
+                   "solve_many", "benchmarks/results", "repro serve",
+                   "--plan-shard", "BackgroundServer"):
         assert needle in readme, f"README.md lost its {needle!r} section"
 
 
@@ -167,6 +168,17 @@ def test_architecture_doc_matches_code():
     from repro.core.backend import BACKEND_NAMES
     for name in BACKEND_NAMES:
         assert f"`{name}`" in doc, f"architecture.md lost backend {name}"
+    # The serving-tier section names the real repro.serve surface.
+    import repro.serve as serve_module
+    assert "repro.serve" in doc
+    for name in ("RepairService", "LRUCache", "MicroBatcher",
+                 "RepairHTTPServer", "listening_socket"):
+        assert name in doc, f"architecture.md lost serve API {name}"
+        assert hasattr(serve_module, name)
+    # ...and the manifest format it documents is the one the code writes.
+    from repro.core.serialize import ShardedPlanArchive  # noqa: F401
+    assert "repro-plan-manifest" in doc
+    assert "ShardedPlanArchive" in doc
 
 
 def test_version_matches_pyproject():
