@@ -132,9 +132,13 @@ def build_parser() -> argparse.ArgumentParser:
                         metavar="KEY=VALUE", dest="solver_opts",
                         help="extra solver option, repeatable (e.g. "
                              "--solver-opt coarsen=4 --solver-opt "
-                             "radius=2 for --solver multiscale); numeric "
-                             "values are auto-converted, options the "
-                             "solver does not accept are dropped")
+                             "radius=2 for --solver multiscale, or "
+                             "--solver-opt restricted_engine=lp to swap "
+                             "screened/multiscale onto the scipy LP "
+                             "oracle instead of the native network "
+                             "simplex); numeric values are "
+                             "auto-converted, options the solver does "
+                             "not accept are dropped")
     design.add_argument("--marginal-estimator", default="kde",
                         choices=("kde", "linear"))
     design.add_argument("--n-jobs", type=int, default=None,

@@ -30,7 +30,8 @@ Modules
 * :mod:`~repro.ot.cost` — ground-cost matrices (``L_p^p`` family).
 * :mod:`~repro.ot.coupling` — :class:`TransportPlan` container.
 * :mod:`~repro.ot.onedim` — closed-form 1-D OT (monotone couplings).
-* :mod:`~repro.ot.network_simplex` — exact general solver.
+* :mod:`~repro.ot.network_simplex` — exact general solvers (dense
+  MODI simplex + sparse arc-list network simplex with warm starts).
 * :mod:`~repro.ot.lp` — scipy ``linprog`` oracle.
 * :mod:`~repro.ot.sinkhorn` — entropic OT.
 * :mod:`~repro.ot.multiscale` — coarsen-solve-refine sparse hybrid.
@@ -50,7 +51,9 @@ from .coupling import (TransportPlan, dilate_mask, is_coupling,
                        marginal_residual, refine_mask)
 from .lp import solve_transport_lp, transport_lp
 from .multiscale import coarsen_problem, default_coarsen_factor
-from .network_simplex import solve_transport, transport_simplex
+from .network_simplex import (NetworkSimplexState, network_simplex_arcs,
+                              refine_state, solve_transport,
+                              transport_simplex)
 from .onedim import (batched_north_west_corner, monotone_map,
                      north_west_corner, north_west_corner_support,
                      quantile_function, solve_1d, wasserstein_1d)
@@ -63,11 +66,12 @@ from .sinkhorn import (SinkhornResult, batched_sinkhorn,
                        batched_sinkhorn_log, sinkhorn, sinkhorn_log,
                        solve_sinkhorn)
 from .sliced import random_directions, sliced_wasserstein
-from .solve import auto_method, solve, solve_many
+from .solve import auto_method, default_screen_k, solve, solve_many
 from .unbalanced import sinkhorn_unbalanced
 from .wasserstein import wasserstein_distance, wasserstein_sample_distance
 
 __all__ = [
+    "NetworkSimplexState",
     "OTBatch",
     "OTProblem",
     "OTResult",
@@ -85,6 +89,7 @@ __all__ = [
     "coarsen_problem",
     "cost_matrix",
     "default_coarsen_factor",
+    "default_screen_k",
     "dilate_mask",
     "euclidean_cost",
     "filter_opts",
@@ -94,11 +99,13 @@ __all__ = [
     "make_cost_function",
     "marginal_residual",
     "monotone_map",
+    "network_simplex_arcs",
     "north_west_corner",
     "north_west_corner_support",
     "pointwise_cost",
     "project_onto_grid",
     "refine_mask",
+    "refine_state",
     "quantile_function",
     "random_directions",
     "register_batch_solver",

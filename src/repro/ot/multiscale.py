@@ -26,13 +26,20 @@ Like ``"screened"``, the returned plan is CSR-backed below the
 :data:`~repro.ot.coupling.SPARSE_DENSITY_THRESHOLD` density, and a
 caller-supplied ``support_mask`` is unioned in as extra support to
 include.  Unlike ``"screened"``, the fine ``(n, m)`` ground-cost matrix
-is never materialised for metric-family costs — the LP sees cost values
-at the sparse support entries only.  The largest remaining
-intermediates are the boolean fine support mask (``n·m`` *bytes*, 8x
-smaller than the float cost matrix the screen needs) and the dense
-coarse plan (``(n/coarsen)²`` floats); trimming those to ``O(n)`` via
-direct index generation is the obvious next step if grids grow past
-``n_Q ~ 10^4``.
+is never materialised for metric-family costs — the restricted solve
+sees cost values at the sparse support entries only.  Past
+:data:`_SPARSE_SUPPORT_LIMIT` fine states the boolean ``(n, m)``
+support mask goes the same way: the refine step switches to direct
+index generation (dilate the coarse support in index space, expand to
+the fine bin members, union the staircase), so the largest intermediate
+left is the dense coarse plan (``(n/coarsen)²`` floats) and grids of
+``n_Q ~ 10^5`` fit comfortably.  The restricted solve itself runs on
+the native sparse network simplex by default
+(``restricted_engine="network_simplex"``; pass ``"lp"`` for the scipy
+oracle), and a stacked coarse level (``coarse_method="multiscale"``)
+hands its optimal basis down through
+:func:`~repro.ot.network_simplex.refine_state` to warm-start the fine
+solve.
 
 >>> import numpy as np
 >>> from repro.ot import OTProblem, solve
@@ -61,24 +68,32 @@ call still solves the restricted LP exactly but reports
 from __future__ import annotations
 
 import numpy as np
+from scipy import sparse
 
 from .._validation import check_positive_int
 from ..density.grid import InterpolationGrid
 from ..exceptions import ValidationError
 from .cost import pointwise_cost
 from .coupling import SPARSE_DENSITY_THRESHOLD, dilate_mask, refine_mask
+from .network_simplex import NetworkSimplexState, refine_state
 from .onedim import north_west_corner_support
 from .problem import OTProblem, OTResult, result_from_matrix
 from .registry import register_solver
 # Importing .solve here also registers the built-in solvers before
 # "multiscale", keeping the registry's listing order intuitive.
-from .solve import _restricted_lp_entries, solve
+from .solve import _restricted_exact_entries, solve
 
 __all__ = ["coarsen_problem", "default_coarsen_factor"]
 
 #: Hard floor on the coarse marginal size — coarser than this and the
 #: coarse plan carries no usable geometry.
 _MIN_COARSE_STATES = 2
+
+#: Fine problem size (``n * m``) past which the refine step defaults to
+#: direct index generation instead of a boolean ``(n, m)`` mask (10^8
+#: states = a 100 MB mask; the index path carries only the O(support)
+#: arc list).  Override per call with ``sparse_support=``.
+_SPARSE_SUPPORT_LIMIT = 100_000_000
 
 
 def default_coarsen_factor(size: int) -> int:
@@ -207,8 +222,9 @@ def _aggregate_cost(cost: np.ndarray, source_bins: np.ndarray,
                 "exact restricted LP returning a CSR-backed plan — the "
                 "fast path for very large 1-D grids")
 def _solve_multiscale(problem: OTProblem, *, coarsen: int | None = None,
-                      radius: int = 1,
-                      coarse_method: str = "auto") -> OTResult:
+                      radius: int = 1, coarse_method: str = "auto",
+                      restricted_engine: str = "network_simplex",
+                      sparse_support: bool | None = None) -> OTResult:
     """Coarsen, solve the coarse problem exactly, refine the support.
 
     Parameters
@@ -217,21 +233,34 @@ def _solve_multiscale(problem: OTProblem, *, coarsen: int | None = None,
         Fine points per coarse bin; ``None`` picks
         :func:`default_coarsen_factor` from the problem size.
     radius:
-        Support dilation in coarse cells: the fine LP may place mass up
-        to ``radius`` coarse cells away from the coarse plan's support.
-        ``radius=1`` is exact on every monotone-structured problem we
-        benchmark; raise it if the returned value is visibly above an
-        exact reference.  For costs *not* derived from the support
-        geometry (explicit matrices, callables) the coarse support is
-        only a heuristic — the result then reports ``converged=False``
-        and ``"auto"`` never dispatches here; prefer ``"screened"``
-        unless you know the cost correlates with the supports.
+        Support dilation in coarse cells: the fine restricted solve may
+        place mass up to ``radius`` coarse cells away from the coarse
+        plan's support.  ``radius=1`` is exact on every
+        monotone-structured problem we benchmark; raise it if the
+        returned value is visibly above an exact reference.  For costs
+        *not* derived from the support geometry (explicit matrices,
+        callables) the coarse support is only a heuristic — the result
+        then reports ``converged=False`` and ``"auto"`` never
+        dispatches here; prefer ``"screened"`` unless you know the cost
+        correlates with the supports.
     coarse_method:
         Solver spec for the coarse level (default ``"auto"``: the
         closed-form monotone coupling for metric-family costs; the
         simplex/LP/screened hybrid, by coarse size, for aggregated
         explicit costs).  Pass ``"multiscale"`` explicitly to stack a
-        second coarsening level for huge explicit-cost grids.
+        second coarsening level for huge grids — the coarse level's
+        network-simplex basis then warm-starts the fine solve through
+        :func:`~repro.ot.network_simplex.refine_state`.
+    restricted_engine:
+        Exact engine for the fine restricted solve: the native sparse
+        arc-list network simplex (default) or ``"lp"`` for the scipy
+        HiGHS oracle it is differentially tested against.
+    sparse_support:
+        ``True`` refines in index space (no boolean ``(n, m)`` mask),
+        ``False`` forces the dense-mask refine, ``None`` (default)
+        picks the index path automatically past
+        :data:`_SPARSE_SUPPORT_LIMIT` fine states when the cost is
+        metric-family and no ``support_mask`` needs unioning.
     """
     mu, nu = problem.source_weights, problem.target_weights
     n, m = problem.shape
@@ -242,20 +271,40 @@ def _solve_multiscale(problem: OTProblem, *, coarsen: int | None = None,
     coarse, source_bins, target_bins = coarsen_problem(problem, coarsen)
     coarse_result = solve(coarse, method=coarse_method)
 
-    active = np.asarray(coarse_result.plan.toarray() > 0.0)
-    dilated = dilate_mask(active, radius=radius)
-    mask = refine_mask(dilated, source_bins, target_bins)
-    if problem.support_mask is not None:
-        # Same semantics as "screened": extra support to include.
-        mask |= problem.support_mask
-    # O(n + m) feasibility patch: the NW staircase always couples mu, nu.
-    nw_rows, nw_cols = north_west_corner_support(mu, nu)
-    mask[nw_rows, nw_cols] = True
+    if sparse_support is None:
+        sparse_support = (n * m > _SPARSE_SUPPORT_LIMIT
+                          and problem.has_metric_cost
+                          and problem.support_mask is None)
+    if sparse_support:
+        rows, cols = _sparse_refined_support(
+            coarse_result, source_bins, target_bins, radius, problem)
+        full = rows.size == n * m
+    else:
+        active = np.asarray(coarse_result.plan.toarray() > 0.0)
+        dilated = dilate_mask(active, radius=radius)
+        mask = refine_mask(dilated, source_bins, target_bins)
+        if problem.support_mask is not None:
+            # Same semantics as "screened": extra support to include.
+            mask |= problem.support_mask
+        # O(n + m) feasibility patch: the NW staircase couples mu, nu.
+        nw_rows, nw_cols = north_west_corner_support(mu, nu)
+        mask[nw_rows, nw_cols] = True
+        rows, cols = np.nonzero(mask)
+        full = bool(mask.all())
 
-    rows, cols = np.nonzero(mask)
+    init = None
+    if restricted_engine == "network_simplex":
+        coarse_state = coarse_result.extras.get("state")
+        if isinstance(coarse_state, NetworkSimplexState):
+            # A stacked coarse level solved its own restricted problem
+            # with the network simplex: lift its optimal basis onto the
+            # fine grid and start pivoting from there.
+            init = refine_state(coarse_state, source_bins, target_bins,
+                                mu, nu)
     cost_values = _cost_entries(problem, rows, cols)
-    matrix, nit, value = _restricted_lp_entries(
-        cost_values, rows, cols, (n, m), mu, nu, sparse_output=True)
+    matrix, nit, value, state = _restricted_exact_entries(
+        cost_values, rows, cols, (n, m), mu, nu,
+        engine=restricted_engine, init=init, sparse_output=True)
     if matrix.nnz / float(n * m) > SPARSE_DENSITY_THRESHOLD:
         matrix = matrix.toarray()
 
@@ -264,21 +313,94 @@ def _solve_multiscale(problem: OTProblem, *, coarsen: int | None = None,
               "coarse_solver": coarse_result.solver,
               "coarse_value": float(coarse_result.value),
               "geometry_aligned": bool(problem.has_metric_cost),
+              "restricted_engine": restricted_engine,
+              "sparse_support": bool(sparse_support),
               "support_size": int(rows.size),
               "support_density": float(rows.size / (n * m))}
-    # The restricted LP is exact on its support, so convergence is a
+    if state is not None:
+        extras["state"] = state
+        extras["warm_started"] = init is not None
+    # The restricted solve is exact on its support, so convergence is a
     # statement about *support quality*.  The coarse plan predicts the
     # fine optimal support only when the cost is derived from the
     # support geometry (metric family); for arbitrary explicit or
     # callable costs the result stays honest and reports
     # converged=False — the caller can raise `radius` or compare
     # against an exact reference — unless the mask degenerated to the
-    # full product, where the restricted LP is the dense LP.
+    # full product, where the restricted solve is the dense one.
     certified = problem.has_metric_cost and coarse_result.converged
     return result_from_matrix(
         problem, matrix, value=value,
-        converged=certified or bool(mask.all()),
+        converged=certified or full,
         n_iter=nit, extras=extras)
+
+
+def _sparse_refined_support(coarse_result: OTResult,
+                            source_bins: np.ndarray,
+                            target_bins: np.ndarray, radius: int,
+                            problem: OTProblem
+                            ) -> tuple[np.ndarray, np.ndarray]:
+    """The refine step in index space: no boolean ``(n, m)`` mask.
+
+    Dilates the coarse plan's support by ``radius`` cells per axis
+    (clipped Chebyshev ball, matching
+    :func:`~repro.ot.coupling.dilate_mask`), expands each surviving
+    coarse cell pair to the cartesian product of its fine bin members,
+    unions the north-west-corner staircase, and dedups.  Returns sorted
+    ``(rows, cols)`` index arrays.
+    """
+    mu, nu = problem.source_weights, problem.target_weights
+    m = nu.size
+    coarse_matrix = coarse_result.plan.matrix
+    if sparse.issparse(coarse_matrix):
+        active_rows, active_cols = coarse_matrix.nonzero()
+    else:
+        active_rows, active_cols = np.nonzero(
+            np.asarray(coarse_matrix) > 0.0)
+    n_coarse, m_coarse = coarse_matrix.shape
+
+    offsets = np.arange(-radius, radius + 1)
+    dilated_rows = np.clip(
+        active_rows[:, None, None] + offsets[None, :, None],
+        0, n_coarse - 1)
+    dilated_cols = np.clip(
+        active_cols[:, None, None] + offsets[None, None, :],
+        0, m_coarse - 1)
+    dilated_rows, dilated_cols = np.broadcast_arrays(dilated_rows,
+                                                    dilated_cols)
+    pair_keys = np.unique(dilated_rows.ravel().astype(np.int64) * m_coarse
+                          + dilated_cols.ravel())
+    cell_rows = pair_keys // m_coarse
+    cell_cols = pair_keys % m_coarse
+
+    # Fine members of each coarse bin, grouped: members[start[b]:
+    # start[b] + count[b]] are the fine indices binned into b.
+    def _grouped(bins: np.ndarray, size: int):
+        members = np.argsort(bins, kind="stable")
+        counts = np.bincount(bins, minlength=size)
+        starts = np.concatenate([[0], np.cumsum(counts)[:-1]])
+        return members, counts, starts
+
+    s_members, s_counts, s_starts = _grouped(source_bins, n_coarse)
+    t_members, t_counts, t_starts = _grouped(target_bins, m_coarse)
+
+    row_counts = s_counts[cell_rows]
+    col_counts = t_counts[cell_cols]
+    sizes = row_counts * col_counts
+    occupied = sizes > 0
+    cell_rows, cell_cols = cell_rows[occupied], cell_cols[occupied]
+    col_counts, sizes = col_counts[occupied], sizes[occupied]
+    pair_of = np.repeat(np.arange(cell_rows.size), sizes)
+    local = (np.arange(int(sizes.sum()))
+             - np.repeat(np.cumsum(sizes) - sizes, sizes))
+    per_pair_cols = col_counts[pair_of]
+    rows = s_members[s_starts[cell_rows][pair_of] + local // per_pair_cols]
+    cols = t_members[t_starts[cell_cols][pair_of] + local % per_pair_cols]
+
+    nw_rows, nw_cols = north_west_corner_support(mu, nu)
+    keys = np.unique(np.concatenate([rows, nw_rows]).astype(np.int64) * m
+                     + np.concatenate([cols, nw_cols]))
+    return keys // m, keys % m
 
 
 def _cost_entries(problem: OTProblem, rows: np.ndarray,

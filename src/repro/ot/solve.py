@@ -72,9 +72,12 @@ from .cost import pointwise_cost
 from .coupling import (SPARSE_DENSITY_THRESHOLD, TransportPlan,
                        _inner_product as _plan_inner_product)
 from .lp import _linprog_with_presolve_retry, _lp_matrix
-from .network_simplex import _transport_simplex_core
-from .onedim import batched_north_west_corner, north_west_corner
-from .problem import OTBatch, OTProblem, OTResult, result_from_matrix
+from .network_simplex import (NetworkSimplexState, _arc_cost_entries,
+                              _transport_simplex_core, network_simplex_arcs)
+from .onedim import (_staircase_walk, batched_north_west_corner,
+                     north_west_corner, north_west_corner_support)
+from .problem import (_MONOTONE_METRICS, OTBatch, OTProblem, OTResult,
+                      result_from_matrix)
 from .registry import (filter_opts, register_batch_solver, register_solver,
                        resolve_solver)
 from .sinkhorn import batched_sinkhorn as _batched_sinkhorn_impl
@@ -83,7 +86,9 @@ from .sinkhorn import sinkhorn as _sinkhorn_impl
 from .sinkhorn import sinkhorn_log as _sinkhorn_log_impl
 
 __all__ = ["solve", "solve_many", "auto_method", "as_problem",
-           "SIMPLEX_AUTO_LIMIT", "LP_AUTO_LIMIT", "MULTISCALE_AUTO_LIMIT"]
+           "default_screen_k", "SIMPLEX_AUTO_LIMIT", "LP_AUTO_LIMIT",
+           "MULTISCALE_AUTO_LIMIT", "EPSILON_SCALING_AUTO_LIMIT",
+           "SCREEN_BAND_LIMIT"]
 
 #: Largest marginal size ``auto`` still hands to the dense simplex.
 SIMPLEX_AUTO_LIMIT = 64
@@ -97,6 +102,21 @@ LP_AUTO_LIMIT = 300
 #: the solver coarsens by support geometry, which predicts the optimal
 #: support only when the cost is derived from that geometry.
 MULTISCALE_AUTO_LIMIT = 2000
+#: Marginal size from which the screened solver's default
+#: ``epsilon_scaling="auto"`` switches the annealed Sinkhorn screen on.
+#: Small problems converge fine from a cold start; past this size the
+#: sharp small-epsilon screens that produce the most selective supports
+#: routinely stall without the geometric epsilon schedule.
+EPSILON_SCALING_AUTO_LIMIT = 1024
+#: Marginal size above which the screened solver swaps the dense
+#: entropic screen for the geometric *band* screen on 1-D problems with
+#: a convex metric-family cost: a band of half-width ``k // 2`` around
+#: the sorted north-west-corner staircase, built index-sparse so neither
+#: the ``(n, m)`` cost matrix nor an ``(n, m)`` mask is ever
+#: materialised.  The staircase of the sorted marginals *is* the
+#: monotone optimal support for convex ``|x - y|^p`` costs, so the band
+#: provably contains an optimal basis and the restricted solve is exact.
+SCREEN_BAND_LIMIT = 10_000
 
 
 def as_problem(problem_or_cost, source_weights=None, target_weights=None,
@@ -753,18 +773,26 @@ def _same_cost_recipe(problem: OTProblem, reference: OTProblem) -> bool:
 def _solve_screened(problem: OTProblem, *, epsilon: float = 1e-2,
                     k: int | None = None, screen_max_iter: int = 2_000,
                     screen_tol: float = 1e-6,
-                    epsilon_scaling: bool = False,
-                    n_scales: int = 4) -> OTResult:
+                    epsilon_scaling: bool | str = "auto",
+                    n_scales: int = 4,
+                    restricted_engine: str = "network_simplex") -> OTResult:
     """The POT-style hybrid: approximate globally, solve exactly locally.
 
     The entropic plan concentrates its mass near the unregularised
     optimum, so keeping only its ``k`` largest entries per row and per
     column yields a sparse support that almost surely contains the exact
-    optimal basis; the LP restricted to that support has ``O(k·n)``
-    variables instead of ``n·m``.  A north-west-corner coupling is
-    unioned into the support so the restricted LP is always feasible,
-    and a caller-supplied ``support_mask`` is unioned in as additional
-    support to include (see :class:`~repro.ot.problem.OTProblem`).
+    optimal basis; the exact solve restricted to that support has
+    ``O(k·n)`` variables instead of ``n·m``.  A north-west-corner
+    coupling is unioned into the support so the restriction is always
+    feasible, and a caller-supplied ``support_mask`` is unioned in as
+    additional support to include (see
+    :class:`~repro.ot.problem.OTProblem`).
+
+    ``restricted_engine`` selects the exact engine for the restricted
+    solve: the native sparse arc-list network simplex
+    (:func:`~repro.ot.network_simplex.network_simplex_arcs`, the
+    default) or ``"lp"`` for the scipy HiGHS oracle it is differentially
+    tested against.
 
     ``epsilon_scaling=True`` runs the Sinkhorn screen as an annealing
     loop instead of a single cold solve: ``n_scales`` geometrically
@@ -774,56 +802,202 @@ def _solve_screened(problem: OTProblem, *, epsilon: float = 1e-2,
     via the classical ``u ** (ε_prev / ε_next)`` transfer.  The small-
     ``epsilon`` screens that stall from a cold start — the sharpest,
     most selective supports — then converge in a fraction of the
-    iterations.
+    iterations.  The default ``"auto"`` switches the annealing on from
+    :data:`EPSILON_SCALING_AUTO_LIMIT` states per marginal.  With the
+    network-simplex engine the annealing loop additionally carries a
+    spanning-tree basis across the scales: each intermediate scale's
+    top-``k`` support is solved exactly, warm-started from the previous
+    scale's basis, so the final (sharpest) restricted solve starts one
+    or two pivots from optimal.
+
+    Very large 1-D problems with a convex metric-family cost (past
+    :data:`SCREEN_BAND_LIMIT` states) skip the entropic screen entirely
+    for a geometric *band* screen around the sorted staircase — see
+    :data:`SCREEN_BAND_LIMIT`; that path never materialises the dense
+    cost matrix, which is what lets screened cells scale to
+    ``n_Q ~ 10^5``.
     """
     mu = problem.source_weights
     nu = problem.target_weights
+    n, m = problem.shape
+    if k is None:
+        k = default_screen_k(n, m)
+    if epsilon_scaling == "auto":
+        epsilon_scaling = max(n, m) >= EPSILON_SCALING_AUTO_LIMIT
+    elif not isinstance(epsilon_scaling, (bool, np.bool_)):
+        raise ValidationError(
+            "epsilon_scaling must be a bool or 'auto', got "
+            f"{epsilon_scaling!r}")
+    if (max(n, m) > SCREEN_BAND_LIMIT and problem.is_one_dimensional
+            and problem.has_metric_cost
+            and (problem.cost_fn is None
+                 or problem.cost_fn in _MONOTONE_METRICS)):
+        return _screened_band(problem, k=int(k), epsilon=epsilon,
+                              restricted_engine=restricted_engine)
     cost = problem.cost_matrix()
-    n, m = cost.shape
+    state = None
+    stage_pivots: list[int] = []
+    on_stage = None
+    if epsilon_scaling and restricted_engine == "network_simplex":
+        # Carry a spanning-tree basis across the annealing scales: each
+        # intermediate screen's support is solved exactly, warm-started
+        # from the previous scale's basis, and the final solve below
+        # inherits the last one.
+        def on_stage(stage) -> None:
+            nonlocal state
+            rows, cols = np.nonzero(
+                _screen_topk_mask(stage.plan, k, problem, mu, nu))
+            outcome = network_simplex_arcs(rows, cols, cost[rows, cols],
+                                           mu, nu, init=state)
+            state = outcome.state
+            stage_pivots.append(int(outcome.pivots))
     if epsilon_scaling:
         screened, screen_info = _epsilon_scaled_screen(
             cost, mu, nu, epsilon=epsilon, n_scales=n_scales,
-            max_iter=screen_max_iter, tol=screen_tol)
+            max_iter=screen_max_iter, tol=screen_tol, on_stage=on_stage)
     else:
         screened = _sinkhorn_impl(cost, mu, nu, epsilon=epsilon,
                                   max_iter=screen_max_iter,
                                   tol=screen_tol, raise_on_failure=False)
         screen_info = {"screen_iterations": screened.iterations}
-    if k is None:
-        k = max(5, int(np.ceil(np.log2(max(n, m)))) + 8)
-    k_row = min(k, m)
-    k_col = min(k, n)
-    mask = np.zeros((n, m), dtype=bool)
-    top_rows = np.argpartition(screened.plan, m - k_row,
-                               axis=1)[:, m - k_row:]
-    mask[np.arange(n)[:, None], top_rows] = True
-    top_cols = np.argpartition(screened.plan, n - k_col,
-                               axis=0)[n - k_col:, :]
-    mask[top_cols, np.arange(m)[None, :]] = True
-    if problem.support_mask is not None:
-        mask |= problem.support_mask
-    mask |= north_west_corner(mu, nu) > 0.0
-    # The restricted LP's plan lives on a tiny support, so return it
+    mask = _screen_topk_mask(screened.plan, k, problem, mu, nu)
+    rows, cols = np.nonzero(mask)
+    # The restricted solve's plan lives on a tiny support, so return it
     # CSR-backed: downstream consumers (TransportPlan sampling, v2 plan
     # archives) then stay O(nnz) instead of O(n*m).  Dense problems small
     # enough for the plan to exceed the density threshold stay dense.
-    matrix, nit = _restricted_lp_matrix(cost, mu, nu, mask,
-                                        sparse_output=True)
-    if matrix.nnz / float(n * m) > SPARSE_DENSITY_THRESHOLD:
+    matrix, nit, value, state = _restricted_exact_entries(
+        cost[rows, cols], rows, cols, (n, m), mu, nu,
+        engine=restricted_engine, init=state, sparse_output=True)
+    if sparse.issparse(matrix) \
+            and matrix.nnz / float(n * m) > SPARSE_DENSITY_THRESHOLD:
         matrix = matrix.toarray()
     extras = {"epsilon": epsilon, "k": int(k),
+              "restricted_engine": restricted_engine,
+              "screen_method": "sinkhorn",
               "support_size": int(mask.sum()),
               "support_density": float(mask.mean()),
               "screen_converged": screened.converged,
               "screen_residual": float(screened.residual),
               **screen_info}
-    # The restricted LP is exact on its support, but the support quality
-    # depends on the screen: an unconverged screen may have missed the
-    # optimal basis, so the overall result must not claim convergence —
-    # unless the mask ended up covering the full support, where the
-    # restricted LP *is* the dense LP and the optimum is certain.
-    return _finish(problem, matrix,
+    if stage_pivots:
+        extras["stage_pivots"] = stage_pivots
+    if state is not None:
+        extras["state"] = state
+    # The restricted solve is exact on its support, but the support
+    # quality depends on the screen: an unconverged screen may have
+    # missed the optimal basis, so the overall result must not claim
+    # convergence — unless the mask ended up covering the full support,
+    # where the restricted solve *is* the dense one and the optimum is
+    # certain.
+    return _finish(problem, matrix, value=value,
                    converged=screened.converged or bool(mask.all()),
+                   n_iter=nit, extras=extras)
+
+
+def default_screen_k(n: int, m: int) -> int:
+    """The screened solver's default top-``k`` per row/column.
+
+    Tuned from the committed sweep in
+    ``benchmarks/results/screened_k_sweep.txt``, which measures both of
+    the solver's regimes: on metric design cells (the library workload)
+    every ``k`` is staircase-certified exact, so only support economy
+    matters; on adversarial supports (where the screen does all the
+    work) the objective error vs the dense LP falls off a cliff below
+    ``log2`` of the marginal size plus a safety margin and shows
+    diminishing returns past it, while the restricted-solve cost keeps
+    growing linearly in ``k`` — so the default sits at that elbow.
+    """
+    return max(5, int(np.ceil(np.log2(max(n, m)))) + 8)
+
+
+def _screen_topk_mask(plan: np.ndarray, k: int, problem: OTProblem,
+                      mu: np.ndarray, nu: np.ndarray) -> np.ndarray:
+    """Top-``k``-per-row/column support of an entropic plan, with the
+    caller's ``support_mask`` and the NW feasibility staircase unioned
+    in — the screened solver's mask recipe, shared by the final solve
+    and the per-scale warm-start solves."""
+    n, m = plan.shape
+    k_row = min(k, m)
+    k_col = min(k, n)
+    mask = np.zeros((n, m), dtype=bool)
+    top_rows = np.argpartition(plan, m - k_row, axis=1)[:, m - k_row:]
+    mask[np.arange(n)[:, None], top_rows] = True
+    top_cols = np.argpartition(plan, n - k_col, axis=0)[n - k_col:, :]
+    mask[top_cols, np.arange(m)[None, :]] = True
+    if problem.support_mask is not None:
+        mask |= problem.support_mask
+    mask |= north_west_corner(mu, nu) > 0.0
+    return mask
+
+
+def _band_screen_support(problem: OTProblem,
+                         k: int) -> tuple[np.ndarray, np.ndarray]:
+    """Index-sparse band support for large 1-D convex-metric problems.
+
+    Walks the north-west-corner staircase of the *sorted* marginals —
+    the monotone optimal support for convex ``|x - y|^p`` costs — and
+    adds a cross-shaped band of half-width ``max(k // 2, 1)`` around
+    each staircase arc (both along the row and along the column), mapped
+    back to the caller's support order.  ``O((n + m) · k)`` arcs, no
+    ``(n, m)`` intermediate.
+    """
+    mu = problem.source_weights
+    nu = problem.target_weights
+    n, m = problem.shape
+    source_order = np.argsort(problem.source_support.ravel(), kind="stable")
+    target_order = np.argsort(problem.target_support.ravel(), kind="stable")
+    srows, scols, _ = _staircase_walk(mu[source_order], nu[target_order])
+    width = max(k // 2, 1)
+    offsets = np.arange(-width, width + 1)
+    band_rows = np.concatenate([
+        np.repeat(srows, offsets.size),
+        np.clip(srows[:, None] + offsets, 0, n - 1).ravel()])
+    band_cols = np.concatenate([
+        np.clip(scols[:, None] + offsets, 0, m - 1).ravel(),
+        np.repeat(scols, offsets.size)])
+    rows = source_order[band_rows]
+    cols = target_order[band_cols]
+    if problem.support_mask is not None:
+        mask_rows, mask_cols = np.nonzero(problem.support_mask)
+        rows = np.concatenate([rows, mask_rows])
+        cols = np.concatenate([cols, mask_cols])
+    keys = np.unique(rows.astype(np.int64) * m + cols)
+    return keys // m, keys % m
+
+
+def _screened_band(problem: OTProblem, *, k: int, epsilon: float,
+                   restricted_engine: str) -> OTResult:
+    """The screened solver's large-1-D path: geometric band screen plus
+    an exact restricted solve, entirely index-sparse.
+
+    The band provably contains a monotone optimal basis (see
+    :data:`SCREEN_BAND_LIMIT`), so unlike the entropic screen this one
+    is certain: ``screen_converged`` is structurally ``True`` and the
+    result is exact.
+    """
+    mu = problem.source_weights
+    nu = problem.target_weights
+    n, m = problem.shape
+    rows, cols = _band_screen_support(problem, k)
+    cost_values = _arc_cost_entries(problem, rows, cols)
+    matrix, nit, value, state = _restricted_exact_entries(
+        cost_values, rows, cols, (n, m), mu, nu,
+        engine=restricted_engine, sparse_output=True)
+    density = rows.size / float(n * m)
+    if sparse.issparse(matrix) and density > SPARSE_DENSITY_THRESHOLD:
+        matrix = matrix.toarray()
+    extras = {"epsilon": epsilon, "k": int(k),
+              "restricted_engine": restricted_engine,
+              "screen_method": "band",
+              "support_size": int(rows.size),
+              "support_density": float(density),
+              "screen_converged": True,
+              "screen_residual": 0.0,
+              "screen_iterations": 0}
+    if state is not None:
+        extras["state"] = state
+    return _finish(problem, matrix, value=value, converged=True,
                    n_iter=nit, extras=extras)
 
 
@@ -834,7 +1008,8 @@ EPSILON_SCALING_START = 1.0
 
 
 def _epsilon_scaled_screen(cost, mu, nu, *, epsilon: float, n_scales: int,
-                           max_iter: int, tol: float) -> tuple:
+                           max_iter: int, tol: float,
+                           on_stage=None) -> tuple:
     """Annealed Sinkhorn screen: geometric epsilon schedule + warm starts.
 
     Runs the probability-domain screen at ``n_scales`` strengths from
@@ -845,6 +1020,11 @@ def _epsilon_scaled_screen(cost, mu, nu, *, epsilon: float, n_scales: int,
     scales run at a loosened tolerance — only the final scale must meet
     ``tol``.  Returns ``(final SinkhornResult, extras dict)`` with the
     cumulative iteration count and the schedule length.
+
+    ``on_stage``, when given, is called with each *intermediate* scale's
+    :class:`~repro.ot.sinkhorn.SinkhornResult` (the final scale's result
+    is returned, not called back) — the screened solver uses it to carry
+    a network-simplex basis across the scales.
     """
     if not isinstance(n_scales, (int, np.integer)) or n_scales < 1:
         raise ValidationError(
@@ -866,6 +1046,8 @@ def _epsilon_scaled_screen(cost, mu, nu, *, epsilon: float, n_scales: int,
             raise_on_failure=False, init=init)
         total_iterations += result.iterations
         init = None
+        if not last and on_stage is not None:
+            on_stage(result)
         if not last and result.scalings is not None:
             # Transfer the dual potentials: u_next = u ** (ε/ε_next).
             # Worked in log space and gauge-centred — the plan is
@@ -914,6 +1096,46 @@ def _solve_auto(problem: OTProblem, **opts) -> OTResult:
     inner = solve(problem, method=target, **filter_opts(target, opts))
     return replace(inner,
                    extras={**inner.extras, "dispatched_to": inner.solver})
+
+
+def _restricted_exact_entries(cost_values: np.ndarray, rows: np.ndarray,
+                              cols: np.ndarray, shape: tuple,
+                              mu: np.ndarray, nu: np.ndarray, *,
+                              engine: str = "network_simplex",
+                              init: NetworkSimplexState | None = None,
+                              presolve_retry: bool = True,
+                              sparse_output: bool = False):
+    """Exact solve over an explicit arc list, dispatched by engine.
+
+    The single restricted-solve entry point behind the ``"screened"``
+    and ``"multiscale"`` hybrids.  ``engine="network_simplex"`` runs the
+    native sparse arc-list network simplex
+    (:func:`~repro.ot.network_simplex.network_simplex_arcs`), which
+    accepts a warm-start basis via ``init``; ``engine="lp"`` keeps the
+    scipy HiGHS oracle (``init`` is then ignored).  Returns
+    ``(matrix, n_iter, value, state)`` where ``state`` is the
+    network-simplex basis for reuse, or ``None`` on the LP path.
+    """
+    if engine == "lp":
+        matrix, nit, value = _restricted_lp_entries(
+            cost_values, rows, cols, shape, mu, nu,
+            presolve_retry=presolve_retry, sparse_output=sparse_output)
+        return matrix, nit, value, None
+    if engine != "network_simplex":
+        raise ValidationError(
+            "restricted_engine must be 'network_simplex' or 'lp', got "
+            f"{engine!r}")
+    outcome = network_simplex_arcs(rows, cols, cost_values, mu, nu,
+                                   init=init)
+    n, m = shape
+    if sparse_output:
+        matrix = sparse.csr_array((outcome.flows, (rows, cols)),
+                                  shape=(n, m))
+        matrix.eliminate_zeros()
+    else:
+        matrix = np.zeros((n, m))
+        matrix[rows, cols] = outcome.flows
+    return matrix, outcome.pivots, outcome.value, outcome.state
 
 
 def _restricted_lp_matrix(cost: np.ndarray, mu: np.ndarray, nu: np.ndarray,

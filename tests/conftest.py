@@ -8,6 +8,24 @@ import pytest
 from repro.data.dataset import FairnessDataset
 from repro.data.simulated import paper_simulation_spec
 
+try:  # Hypothesis is optional for the tier-1 suite.
+    from hypothesis import HealthCheck, settings
+
+    # "repro" keeps the property suites fast enough for tier-1;
+    # "ci" is the stress budget the simplex-stress CI job selects with
+    # --hypothesis-profile=ci (>= 200 generated cases across the
+    # differential suite).  deadline=None: property bodies run exact
+    # solvers whose wall time varies by orders of magnitude per example.
+    settings.register_profile(
+        "repro", max_examples=30, deadline=None,
+        suppress_health_check=[HealthCheck.too_slow])
+    settings.register_profile(
+        "ci", max_examples=120, deadline=None,
+        suppress_health_check=[HealthCheck.too_slow])
+    settings.load_profile("repro")
+except ImportError:  # pragma: no cover
+    pass
+
 
 @pytest.fixture
 def rng():

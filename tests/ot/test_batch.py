@@ -527,3 +527,61 @@ def test_solve_many_bitwise_matches_solve_loop(mu, nu, seed):
     serial = [solve(problem, method="exact") for problem in shuffled]
     many = solve_many(shuffled, method="exact")
     assert_result_pairs_identical(many, serial)
+
+
+# -- the restricted-engine hybrids under batching -----------------------------
+
+
+class TestRestrictedEngineBatch:
+    """screened/multiscale run their restricted solve on the native
+    network simplex by default; the scipy-LP engine stays available as
+    the oracle and both must agree — per cell and under solve_many."""
+
+    @staticmethod
+    def _grid_cells(rng, sizes=(60, 60, 80)):
+        problems = []
+        for n in sizes:
+            nodes = np.linspace(-2.5, 2.5, n)
+            mu = rng.dirichlet(np.ones(n) * 2.0)
+            nu = rng.dirichlet(np.ones(n) * 2.0)
+            problems.append(OTProblem(source_weights=mu, target_weights=nu,
+                                      source_support=nodes,
+                                      target_support=nodes))
+        return problems
+
+    @pytest.mark.parametrize("method", ["screened", "multiscale"])
+    def test_engines_agree_on_objective(self, rng, method):
+        for problem in self._grid_cells(rng):
+            native = solve(problem, method=method,
+                           restricted_engine="network_simplex")
+            oracle = solve(problem, method=method,
+                           restricted_engine="lp")
+            assert native.extras["restricted_engine"] == "network_simplex"
+            assert oracle.extras["restricted_engine"] == "lp"
+            assert native.value == pytest.approx(oracle.value, abs=1e-9)
+            assert native.marginal_residual <= 1e-9
+
+    @pytest.mark.parametrize("strategy", ["serial", "thread", "process"])
+    def test_solve_many_bit_identical_across_executors(self, rng, strategy):
+        """The new engine's results — including the NetworkSimplexState
+        riding in extras — survive every executor bit-identically."""
+        from repro.core.executor import resolve_executor
+
+        problems = self._grid_cells(rng, sizes=(40, 40, 50))
+        serial = [solve(problem, method="screened",
+                        restricted_engine="network_simplex")
+                  for problem in problems]
+        engine = resolve_executor(strategy, n_jobs=2)
+        many = solve_many(problems, method="screened",
+                          restricted_engine="network_simplex",
+                          executor=engine)
+        assert_result_pairs_identical(many, serial)
+        for result in many:
+            assert result.extras["restricted_engine"] == "network_simplex"
+
+    def test_solve_many_network_simplex_solver(self, rng):
+        problems = self._grid_cells(rng, sizes=(30, 30))
+        serial = [solve(problem, method="network_simplex")
+                  for problem in problems]
+        many = solve_many(problems, method="network_simplex")
+        assert_result_pairs_identical(many, serial)

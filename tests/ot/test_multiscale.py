@@ -283,3 +283,63 @@ class TestDesignIntegration:
                              solver_opts={"coarsen": 6})
         assert plan.metadata["solver"] == "multiscale"
         assert plan.metadata["solver_opts"] == {"coarsen": 6}
+
+
+class TestRestrictedEngine:
+    """The restricted solve's two engines (native network simplex vs the
+    scipy LP oracle) and the index-sparse refine path must be
+    interchangeable on the observable contract."""
+
+    def test_engines_agree_on_value_and_plan(self):
+        problem = gaussian_grid_problem(150)
+        native = solve(problem, method="multiscale", coarsen=5,
+                       restricted_engine="network_simplex")
+        oracle = solve(problem, method="multiscale", coarsen=5,
+                       restricted_engine="lp")
+        assert native.extras["restricted_engine"] == "network_simplex"
+        assert oracle.extras["restricted_engine"] == "lp"
+        assert native.value == pytest.approx(oracle.value, abs=1e-9)
+        assert np.allclose(native.plan.toarray(), oracle.plan.toarray(),
+                           atol=1e-9)
+
+    def test_engine_validated(self):
+        problem = gaussian_grid_problem(80)
+        with pytest.raises(ValidationError, match="restricted_engine"):
+            solve(problem, method="multiscale",
+                  restricted_engine="simplex")
+
+    def test_sparse_support_path_matches_dense_mask_path(self):
+        # Forcing the index-sparse refine at a size where the dense-mask
+        # path also runs: both must restrict to the same support and
+        # reach the same optimum.
+        problem = gaussian_grid_problem(140)
+        sparse_path = solve(problem, method="multiscale", coarsen=4,
+                            sparse_support=True)
+        dense_path = solve(problem, method="multiscale", coarsen=4,
+                           sparse_support=False)
+        assert sparse_path.extras["sparse_support"] is True
+        assert dense_path.extras["sparse_support"] is False
+        assert sparse_path.value == pytest.approx(dense_path.value,
+                                                  abs=1e-11)
+        assert np.allclose(sparse_path.plan.toarray(),
+                           dense_path.plan.toarray(), atol=1e-9)
+
+    def test_stacked_levels_warm_start_the_fine_solve(self):
+        # coarse_method="multiscale" solves the coarse level with the
+        # same machinery, whose extras carry a NetworkSimplexState; the
+        # fine restricted solve must lift that basis via refine_state
+        # and report the warm start.
+        problem = gaussian_grid_problem(240)
+        stacked = solve(problem, method="multiscale", coarsen=4,
+                        coarse_method="multiscale")
+        assert stacked.extras["warm_started"] is True
+        from repro.ot import NetworkSimplexState
+        assert isinstance(stacked.extras["state"], NetworkSimplexState)
+        cold = solve(problem, method="multiscale", coarsen=4)
+        assert stacked.value == pytest.approx(cold.value, abs=1e-9)
+
+    def test_lp_engine_reports_no_state(self):
+        result = solve(gaussian_grid_problem(90), method="multiscale",
+                       coarsen=4, restricted_engine="lp")
+        assert "state" not in result.extras
+        assert "warm_started" not in result.extras

@@ -462,6 +462,95 @@ class TestScreenedEpsilonScaling:
                             "coarsen": 4})
         assert opts == {"epsilon_scaling": True, "n_scales": 3}
 
+    @staticmethod
+    def _tall_problem(rng, n, m=8):
+        xs = np.sort(rng.normal(size=n))
+        ys = np.sort(rng.normal(size=m))
+        return OTProblem(source_weights=rng.dirichlet(np.ones(n)),
+                         target_weights=rng.dirichlet(np.ones(m)),
+                         source_support=xs, target_support=ys)
+
+    def test_auto_switches_on_exactly_at_the_limit(self, rng):
+        """epsilon_scaling="auto" keys on max(n, m) crossing
+        EPSILON_SCALING_AUTO_LIMIT — inclusive at the limit, off one
+        state below it."""
+        from repro.ot.solve import EPSILON_SCALING_AUTO_LIMIT
+
+        at_limit = solve(self._tall_problem(rng, EPSILON_SCALING_AUTO_LIMIT),
+                         method="screened", epsilon=1e-1,
+                         screen_max_iter=200)
+        assert at_limit.extras["epsilon_scaling"] is True
+        assert at_limit.extras["n_scales"] >= 1
+        below = solve(self._tall_problem(rng, EPSILON_SCALING_AUTO_LIMIT - 1),
+                      method="screened", epsilon=1e-1,
+                      screen_max_iter=200)
+        assert "epsilon_scaling" not in below.extras
+
+    def test_auto_rejects_other_strings(self, rng):
+        with pytest.raises(ValidationError, match="epsilon_scaling"):
+            solve(self._tall_problem(rng, 64), method="screened",
+                  epsilon_scaling="always")
+
+
+class TestDefaultScreenK:
+    """``default_screen_k`` must sit at the elbow of the accuracy-vs-k
+    curve measured by ``benchmarks/test_screened_k_sweep.py`` (committed
+    table in ``benchmarks/results/screened_k_sweep.txt``): on metric
+    design cells every k is staircase-certified exact, and on the
+    adversarial scrambled-grid regime the default clears the steep
+    region (sub-0.1% error) where tiny k is off a cliff.  This pins
+    both at one small size so a formula regression cannot land
+    silently."""
+
+    N = 300
+
+    def _scrambled_problem(self, rng):
+        n = self.N
+        xs = np.sort(rng.normal(size=n))
+        ys = rng.permutation(np.sort(rng.normal(size=n)) + 0.4)
+        return OTProblem(source_weights=rng.dirichlet(np.ones(n) * 2.0),
+                         target_weights=rng.dirichlet(np.ones(n) * 2.0),
+                         source_support=xs, target_support=ys)
+
+    def test_workload_regime_exact_at_the_default(self, rng):
+        from repro.ot import default_screen_k
+
+        n = self.N
+        xs = np.sort(rng.normal(size=n))
+        ys = np.sort(rng.normal(size=n)) + 0.4
+        problem = OTProblem(source_weights=rng.dirichlet(np.ones(n) * 2.0),
+                            target_weights=rng.dirichlet(np.ones(n) * 2.0),
+                            source_support=xs, target_support=ys)
+        oracle = solve(problem, method="lp")
+        at_default = solve(problem, method="screened",
+                           k=default_screen_k(n, n))
+        assert at_default.value == pytest.approx(oracle.value, rel=1e-9)
+        assert at_default.extras["support_density"] < 0.12
+
+    def test_adversarial_regime_default_clears_the_elbow(self, rng):
+        from repro.ot import default_screen_k
+
+        problem = self._scrambled_problem(rng)
+        oracle = solve(problem, method="lp")
+        screen_opts = dict(epsilon=1e-3, epsilon_scaling=True)
+        tiny = solve(problem, method="screened", k=3, **screen_opts)
+        at_default = solve(problem, method="screened",
+                           k=default_screen_k(self.N, self.N),
+                           **screen_opts)
+        tiny_err = (tiny.value - oracle.value) / oracle.value
+        default_err = (at_default.value - oracle.value) / oracle.value
+        assert tiny_err > 1e-1, "k=3 should be far off the optimum"
+        assert -5e-8 <= default_err < 1e-3, (
+            f"default k off the elbow ({default_err:.3e})")
+
+    def test_formula_floor_and_growth(self):
+        from repro.ot import default_screen_k
+
+        assert default_screen_k(2, 2) == 9
+        assert default_screen_k(300, 300) == 17
+        assert default_screen_k(300, 4) == 17  # keyed on the max side
+        assert default_screen_k(100_000, 100_000) == 25
+
 
 class TestReviewRegressions:
     def test_overwriting_an_alias_keeps_the_shadowed_builtin(self):

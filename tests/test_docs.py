@@ -154,6 +154,12 @@ def test_architecture_doc_matches_code():
                  "solve_many", "batch_support"):
         assert name in doc
         assert hasattr(repro.ot, name)
+    # The restricted-LP-engine section names the real warm-start API.
+    for name in ("NetworkSimplexState", "network_simplex_arcs",
+                 "refine_state"):
+        assert name in doc, f"architecture.md lost simplex API {name}"
+        assert hasattr(repro.ot, name)
+    assert "restricted_engine" in doc
     # The execution-engine section names the real strategies.
     from repro.core.executor import EXECUTOR_NAMES
     for name in EXECUTOR_NAMES:
