@@ -132,11 +132,15 @@ def build_parser() -> argparse.ArgumentParser:
                         metavar="KEY=VALUE", dest="solver_opts",
                         help="extra solver option, repeatable (e.g. "
                              "--solver-opt coarsen=4 --solver-opt "
-                             "radius=2 for --solver multiscale, or "
+                             "levels=2 for --solver multiscale — "
+                             "levels=auto builds the full pyramid — or "
                              "--solver-opt restricted_engine=lp to swap "
                              "screened/multiscale onto the scipy LP "
                              "oracle instead of the native network "
-                             "simplex); numeric values are "
+                             "simplex; restricted_engine=banded forces "
+                             "the pivot-free monotone kernel that "
+                             "multiscale's auto engine already picks on "
+                             "certified cells); numeric values are "
                              "auto-converted, options the solver does "
                              "not accept are dropped")
     design.add_argument("--marginal-estimator", default="kde",

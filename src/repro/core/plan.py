@@ -25,6 +25,13 @@ from ..ot.coupling import (TransportPlan, conditional_cumulative,
 
 __all__ = ["FeaturePlan", "RepairPlan"]
 
+#: Bound on the per-:class:`FeaturePlan` memo of *densified* sparse-plan
+#: CDF tables.  Each entry is an ``O(n_Q²)`` float array — the whole
+#: point of CSR transports is not holding those — so the memo keeps only
+#: the handful of protected classes an inspection loop actually touches
+#: and evicts least-recently-used beyond that.
+_SPARSE_CDF_CACHE_SIZE = 4
+
 
 @dataclass(frozen=True)
 class FeaturePlan:
@@ -78,6 +85,11 @@ class FeaturePlan:
             raise ValidationError("diagnostics must be a dict")
         object.__setattr__(self, "barycenter", bary)
         object.__setattr__(self, "_cdf_cache", {})
+        # Deferred import: ``repro.serve`` imports this module for
+        # RepairPlan, so a top-level import here would be circular.
+        from ..serve.cache import LRUCache
+        object.__setattr__(self, "_sparse_cdf_cache",
+                           LRUCache(_SPARSE_CDF_CACHE_SIZE))
 
     @property
     def s_values(self) -> tuple:
@@ -91,17 +103,22 @@ class FeaturePlan:
         computed once per ``s`` and cached (callers must treat it as
         read-only and copy before mutating) — it *is* the Algorithm-2
         sampling table.  For CSR-backed transports it is an
-        inspection-only view: densified on demand and **never cached**,
-        so a sparse plan's ``O(n_Q²)`` CDF table is not held in memory —
-        the Algorithm-2 hot path goes through :meth:`sample_targets`,
+        inspection-only view: densified on demand and memoised in a
+        small LRU (capacity ``_SPARSE_CDF_CACHE_SIZE``), so repeated
+        inspection queries stop re-densifying while a large design's
+        ``O(n_Q²)`` tables still cannot pile up in memory — the
+        Algorithm-2 hot path goes through :meth:`sample_targets`,
         which samples on the sparse conditional structure directly.
         """
         if s not in self.transports:
             raise ValidationError(
                 f"no transport plan for s={s}; have {self.s_values}")
         if self.transports[s].is_sparse:
-            conditionals = self.transports[s].conditional_matrix()
-            return np.cumsum(conditionals.toarray(), axis=1)
+            return self._sparse_cdf_cache.get_or_create(
+                ("cdf", s),
+                lambda: np.cumsum(
+                    self.transports[s].conditional_matrix().toarray(),
+                    axis=1))
         cache = getattr(self, "_cdf_cache")
         key = ("cdf", s)
         if key not in cache:

@@ -47,16 +47,17 @@ from .barycenter import (barycenter_1d, geodesic_point_1d, project_onto_grid,
                          sinkhorn_barycenter)
 from .cost import (cost_matrix, euclidean_cost, lp_cost, make_cost_function,
                    pointwise_cost, squared_euclidean_cost)
-from .coupling import (TransportPlan, dilate_mask, is_coupling,
-                       marginal_residual, refine_mask)
+from .coupling import (TransportPlan, band_bounds, dilate_mask, is_banded,
+                       is_coupling, marginal_residual, refine_mask)
 from .lp import solve_transport_lp, transport_lp
 from .multiscale import coarsen_problem, default_coarsen_factor
 from .network_simplex import (NetworkSimplexState, network_simplex_arcs,
                               refine_state, solve_transport,
                               transport_simplex)
-from .onedim import (batched_north_west_corner, monotone_map,
-                     north_west_corner, north_west_corner_support,
-                     quantile_function, solve_1d, wasserstein_1d)
+from .onedim import (banded_monotone_transport, batched_north_west_corner,
+                     monotone_map, north_west_corner,
+                     north_west_corner_support, quantile_function, solve_1d,
+                     wasserstein_1d)
 from .problem import OTBatch, OTProblem, OTResult
 from .registry import (Solver, available_solvers, backend_support,
                        batch_support, filter_opts, register_batch_solver,
@@ -81,6 +82,8 @@ __all__ = [
     "auto_method",
     "available_solvers",
     "backend_support",
+    "band_bounds",
+    "banded_monotone_transport",
     "barycenter_1d",
     "batch_support",
     "batched_north_west_corner",
@@ -94,6 +97,7 @@ __all__ = [
     "euclidean_cost",
     "filter_opts",
     "geodesic_point_1d",
+    "is_banded",
     "is_coupling",
     "lp_cost",
     "make_cost_function",

@@ -30,7 +30,8 @@ from ..exceptions import ValidationError
 
 __all__ = ["TransportPlan", "marginal_residual", "is_coupling",
            "sample_conditional_rows", "conditional_cumulative",
-           "dilate_mask", "refine_mask", "SPARSE_DENSITY_THRESHOLD"]
+           "dilate_mask", "refine_mask", "band_bounds", "is_banded",
+           "SPARSE_DENSITY_THRESHOLD"]
 
 #: Below this fraction of structural non-zeros a plan is worth storing as
 #: CSR: the triplet arrays (data + indices + indptr) then undercut the
@@ -144,6 +145,93 @@ def refine_mask(coarse_mask, row_bins, col_bins) -> np.ndarray:
                 f"{name}_bins indices out of range for coarse_mask axis "
                 f"of size {axis_size}")
     return coarse_mask[np.ix_(row_bins, col_bins)]
+
+
+def _band_hull(rows, cols, shape):
+    """Shared arc-list scan behind :func:`band_bounds` / :func:`is_banded`.
+
+    Returns ``(lower, upper, counts)`` per-row arrays, or ``None`` when
+    some row holds no arc (no interval hull exists there).
+    """
+    rows = np.asarray(rows, dtype=np.intp).ravel()
+    cols = np.asarray(cols, dtype=np.intp).ravel()
+    if rows.size != cols.size:
+        raise ValidationError(
+            f"rows and cols must be parallel arrays, got sizes "
+            f"{rows.size} and {cols.size}")
+    n, m = int(shape[0]), int(shape[1])
+    if n <= 0 or m <= 0:
+        raise ValidationError(f"shape must be positive, got {shape!r}")
+    if rows.size == 0:
+        return None
+    if (rows.min() < 0 or rows.max() >= n
+            or cols.min() < 0 or cols.max() >= m):
+        raise ValidationError(
+            f"arc indices out of range for shape {(n, m)}")
+    keys = rows.astype(np.int64) * m + cols
+    if keys.size > 1 and np.any(np.diff(keys) <= 0):
+        keys = np.unique(keys)
+        rows, cols = keys // m, keys % m
+    counts = np.bincount(rows, minlength=n)
+    if np.any(counts == 0):
+        return None
+    starts = np.concatenate([[0], np.cumsum(counts)[:-1]])
+    lower = cols[starts]
+    upper = cols[starts + counts - 1]
+    return lower, upper, counts
+
+
+def band_bounds(rows, cols, shape) -> tuple[np.ndarray, np.ndarray]:
+    """Per-row column interval hull ``(lower, upper)`` of an arc list.
+
+    ``rows`` / ``cols`` are parallel index arrays naming the allowed
+    entries of an ``(n, m)`` support; entry order does not matter and
+    duplicates are tolerated.  Row ``i``'s arcs all lie inside
+    ``[lower[i], upper[i]]`` (inclusive).  Every row must hold at least
+    one arc — the multiscale/screened supports always do, since the
+    north-west-corner feasibility staircase visits every row.
+
+    >>> import numpy as np
+    >>> lo, hi = band_bounds([0, 0, 1, 1], [0, 1, 1, 2], (2, 3))
+    >>> lo.tolist(), hi.tolist()
+    ([0, 1], [1, 2])
+    """
+    hull = _band_hull(rows, cols, shape)
+    if hull is None:
+        raise ValidationError(
+            "band_bounds needs at least one arc in every row; union a "
+            "feasibility staircase (north_west_corner_support) first")
+    lower, upper, _ = hull
+    return lower, upper
+
+
+def is_banded(rows, cols, shape) -> bool:
+    """True when an arc list is exactly a monotone contiguous band.
+
+    Certifies the structure the ``"banded"`` restricted engine needs
+    (:func:`repro.ot.onedim.banded_monotone_transport`): every row's
+    columns fill the contiguous interval ``[lower[i], upper[i]]`` with
+    no holes, and both endpoint sequences are non-decreasing — the
+    support is a staircase-shaped band.  Duplicate arcs are deduped
+    before the contiguity count, and any row without arcs fails the
+    certificate (no interval hull exists there).
+
+    >>> import numpy as np
+    >>> is_banded([0, 0, 1, 1], [0, 1, 1, 2], (2, 3))
+    True
+    >>> is_banded([0, 0, 1], [0, 2, 1], (2, 3))     # hole in row 0
+    False
+    >>> is_banded([0, 1], [1, 0], (2, 2))           # bounds decrease
+    False
+    """
+    hull = _band_hull(rows, cols, shape)
+    if hull is None:
+        return False
+    lower, upper, counts = hull
+    if np.any(counts != upper - lower + 1):
+        return False
+    return (bool(np.all(np.diff(lower) >= 0))
+            and bool(np.all(np.diff(upper) >= 0)))
 
 
 def conditional_cumulative(conditionals) -> np.ndarray:

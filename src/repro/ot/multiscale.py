@@ -22,6 +22,16 @@ by POT's multiscale backends:
    north-west-corner staircase so the restriction is always feasible,
    and solve the exact LP on that sparse support only.
 
+Since Multiscale v2 the coarsen step is an **automatic pyramid**:
+``coarsen_problem`` is applied recursively until the coarsest problem
+drops below :data:`PYRAMID_LEAF_SIZE` states per marginal
+(``levels="auto"``; pass an integer to pin the depth — ``levels=1`` is
+the historical single-level solve, bit-identical), and the refine step
+walks back up level by level, each restricted solve warm-started from
+the level above through
+:func:`~repro.ot.network_simplex.refine_state` basis lifts.  Per-level
+diagnostics land in ``extras["pyramid"]``.
+
 Like ``"screened"``, the returned plan is CSR-backed below the
 :data:`~repro.ot.coupling.SPARSE_DENSITY_THRESHOLD` density, and a
 caller-supplied ``support_mask`` is unioned in as extra support to
@@ -33,13 +43,15 @@ support mask goes the same way: the refine step switches to direct
 index generation (dilate the coarse support in index space, expand to
 the fine bin members, union the staircase), so the largest intermediate
 left is the dense coarse plan (``(n/coarsen)²`` floats) and grids of
-``n_Q ~ 10^5`` fit comfortably.  The restricted solve itself runs on
-the native sparse network simplex by default
-(``restricted_engine="network_simplex"``; pass ``"lp"`` for the scipy
-oracle), and a stacked coarse level (``coarse_method="multiscale"``)
-hands its optimal basis down through
-:func:`~repro.ot.network_simplex.refine_state` to warm-start the fine
-solve.
+``n_Q ~ 10^6`` fit comfortably.  The restricted solves default to
+``restricted_engine="auto"``: each level's dilated support is a
+contiguous monotone band for convex metric costs on sorted 1-D grids
+(:func:`~repro.ot.coupling.is_banded` certifies it), in which case the
+O(n + m) north-west-corner-with-repair kernel
+(:func:`~repro.ot.onedim.banded_monotone_transport`) solves the level
+with no cost matrix and no simplex pivots at all; non-banded supports
+keep the native sparse network simplex (``"network_simplex"``; pass
+``"lp"`` for the scipy oracle).
 
 >>> import numpy as np
 >>> from repro.ot import OTProblem, solve
@@ -81,13 +93,24 @@ from .problem import OTProblem, OTResult, result_from_matrix
 from .registry import register_solver
 # Importing .solve here also registers the built-in solvers before
 # "multiscale", keeping the registry's listing order intuitive.
-from .solve import _restricted_exact_entries, solve
+from .solve import (RESTRICTED_ENGINES, _banded_certifiable,
+                    _restricted_exact_entries, solve)
 
-__all__ = ["coarsen_problem", "default_coarsen_factor"]
+__all__ = ["coarsen_problem", "default_coarsen_factor",
+           "PYRAMID_LEAF_SIZE"]
 
 #: Hard floor on the coarse marginal size — coarser than this and the
 #: coarse plan carries no usable geometry.
 _MIN_COARSE_STATES = 2
+
+#: ``levels="auto"`` keeps coarsening until the coarsest marginal is at
+#: most this large — the "trivial size" where any exact solver finishes
+#: instantly (it matches :data:`~repro.ot.solve.LP_AUTO_LIMIT`, so
+#: aggregated explicit costs land on the dense LP, never the screened
+#: hybrid).  With the default factor 4 a ``10^6``-state grid becomes a
+#: 6-level pyramid whose per-level work is a geometric series summing
+#: to ~1.33x the finest level.
+PYRAMID_LEAF_SIZE = 300
 
 #: Fine problem size (``n * m``) past which the refine step defaults to
 #: direct index generation instead of a boolean ``(n, m)`` mask (10^8
@@ -217,26 +240,29 @@ def _aggregate_cost(cost: np.ndarray, source_bins: np.ndarray,
 
 @register_solver(
     "multiscale",
-    description="coarsen-solve-refine sparse hybrid: exact coarse solve "
-                "on a binned grid, support dilated onto the fine grid, "
-                "exact restricted LP returning a CSR-backed plan — the "
-                "fast path for very large 1-D grids")
+    description="automatic coarsen-solve-refine pyramid: recursive "
+                "binning down to a trivial coarsest problem, exact "
+                "restricted solves refined level by level (banded "
+                "monotone kernel or warm-started network simplex) "
+                "returning a CSR-backed plan — the fast path for very "
+                "large 1-D grids")
 def _solve_multiscale(problem: OTProblem, *, coarsen: int | None = None,
                       radius: int = 1, coarse_method: str = "auto",
-                      restricted_engine: str = "network_simplex",
+                      levels: int | str = "auto",
+                      restricted_engine: str = "auto",
                       sparse_support: bool | None = None) -> OTResult:
-    """Coarsen, solve the coarse problem exactly, refine the support.
+    """Coarsen recursively, solve the coarsest exactly, refine upward.
 
     Parameters
     ----------
     coarsen:
-        Fine points per coarse bin; ``None`` picks
-        :func:`default_coarsen_factor` from the problem size.
+        Fine points per coarse bin at every pyramid level; ``None``
+        picks :func:`default_coarsen_factor` from the problem size.
     radius:
-        Support dilation in coarse cells: the fine restricted solve may
-        place mass up to ``radius`` coarse cells away from the coarse
-        plan's support.  ``radius=1`` is exact on every
-        monotone-structured problem we benchmark; raise it if the
+        Support dilation in coarse cells at each refine step: the
+        restricted solve may place mass up to ``radius`` coarse cells
+        away from the coarser plan's support.  ``radius=1`` is exact on
+        every monotone-structured problem we benchmark; raise it if the
         returned value is visibly above an exact reference.  For costs
         *not* derived from the support geometry (explicit matrices,
         callables) the coarse support is only a heuristic — the result
@@ -244,38 +270,163 @@ def _solve_multiscale(problem: OTProblem, *, coarsen: int | None = None,
         dispatches here; prefer ``"screened"`` unless you know the cost
         correlates with the supports.
     coarse_method:
-        Solver spec for the coarse level (default ``"auto"``: the
-        closed-form monotone coupling for metric-family costs; the
-        simplex/LP/screened hybrid, by coarse size, for aggregated
-        explicit costs).  Pass ``"multiscale"`` explicitly to stack a
-        second coarsening level for huge grids — the coarse level's
-        network-simplex basis then warm-starts the fine solve through
-        :func:`~repro.ot.network_simplex.refine_state`.
+        Solver spec for the *coarsest* level only (default ``"auto"``:
+        the closed-form monotone coupling for metric-family costs; the
+        simplex/LP, by coarse size, for aggregated explicit costs).
+    levels:
+        Pyramid depth — the number of coarsening steps.  ``"auto"``
+        (default) keeps coarsening until the coarsest marginal has at
+        most :data:`PYRAMID_LEAF_SIZE` states (or binning stops
+        shrinking the problem at the :data:`_MIN_COARSE_STATES` floor);
+        an explicit positive integer pins the depth, and ``levels=1``
+        reproduces the historical single-level solve bit for bit.
     restricted_engine:
-        Exact engine for the fine restricted solve: the native sparse
-        arc-list network simplex (default) or ``"lp"`` for the scipy
-        HiGHS oracle it is differentially tested against.
+        Exact engine for the per-level restricted solves.  ``"auto"``
+        (default) uses the O(n + m) banded monotone kernel
+        (:func:`~repro.ot.onedim.banded_monotone_transport`) whenever
+        the level is certified — convex metric cost, sorted 1-D
+        supports, and a support that
+        :func:`~repro.ot.coupling.is_banded` confirms is a contiguous
+        monotone band — and the native sparse arc-list network simplex
+        otherwise.  ``"banded"`` requests the band kernel explicitly
+        (still falling back to the simplex when the certificate fails),
+        ``"network_simplex"`` forces the simplex (whose basis is then
+        lifted level-to-level via
+        :func:`~repro.ot.network_simplex.refine_state` warm starts),
+        and ``"lp"`` keeps the scipy HiGHS oracle the other engines are
+        differentially tested against.
     sparse_support:
         ``True`` refines in index space (no boolean ``(n, m)`` mask),
         ``False`` forces the dense-mask refine, ``None`` (default)
         picks the index path automatically past
         :data:`_SPARSE_SUPPORT_LIMIT` fine states when the cost is
-        metric-family and no ``support_mask`` needs unioning.
+        metric-family and no ``support_mask`` needs unioning — decided
+        per level, so only the pyramid levels that need it pay the
+        index-space bookkeeping.
     """
-    mu, nu = problem.source_weights, problem.target_weights
     n, m = problem.shape
     if coarsen is None:
         coarsen = default_coarsen_factor(max(n, m))
     radius = check_positive_int(radius, name="radius", minimum=0)
+    if restricted_engine not in RESTRICTED_ENGINES:
+        raise ValidationError(
+            "restricted_engine must be one of "
+            f"{RESTRICTED_ENGINES}, got {restricted_engine!r}")
+    if isinstance(levels, str):
+        if levels != "auto":
+            raise ValidationError(
+                f"levels must be a positive integer or 'auto', got "
+                f"{levels!r}")
+        max_levels = None
+    else:
+        max_levels = check_positive_int(levels, name="levels", minimum=1)
 
-    coarse, source_bins, target_bins = coarsen_problem(problem, coarsen)
-    coarse_result = solve(coarse, method=coarse_method)
+    # Descend: coarsen recursively until the leaf threshold (or the
+    # requested depth, or the _MIN_COARSE_STATES floor) is reached.
+    # pyramid[0] is the fine problem; binmaps[k] maps level k onto
+    # level k + 1.
+    pyramid = [problem]
+    binmaps = []
+    while True:
+        coarse, source_bins, target_bins = coarsen_problem(pyramid[-1],
+                                                           coarsen)
+        reduced = coarse.shape != pyramid[-1].shape
+        if binmaps and not reduced:
+            break
+        pyramid.append(coarse)
+        binmaps.append((source_bins, target_bins))
+        if not reduced:
+            break
+        if max_levels is not None:
+            if len(binmaps) >= max_levels:
+                break
+        elif max(coarse.shape) <= PYRAMID_LEAF_SIZE:
+            break
 
+    coarsest_result = solve(pyramid[-1], method=coarse_method)
+
+    # Ascend: one restricted solve per level, each supported on the
+    # dilated refinement of the level above and (with the simplex
+    # engine) warm-started from its lifted basis.
+    current = coarsest_result
+    diagnostics = []
+    level_info = None
+    for level in range(len(binmaps) - 1, -1, -1):
+        fine = pyramid[level]
+        source_bins, target_bins = binmaps[level]
+        level_info = _refine_level(fine, current, source_bins,
+                                   target_bins, radius=radius,
+                                   engine=restricted_engine,
+                                   sparse_support=sparse_support)
+        diagnostics.append({
+            "shape": fine.shape,
+            "engine": level_info["engine"],
+            "support_size": level_info["support_size"],
+            "support_density": level_info["support_density"],
+            "sparse_support": level_info["sparse_support"],
+            "n_iter": level_info["n_iter"],
+            "warm_started": level_info["warm_started"],
+            "value": float(level_info["value"]),
+        })
+        level_extras = {}
+        if level_info["state"] is not None:
+            level_extras["state"] = level_info["state"]
+        current = result_from_matrix(
+            fine, level_info["matrix"], value=level_info["value"],
+            converged=True, n_iter=level_info["n_iter"],
+            extras=level_extras)
+
+    extras = {"coarsen": int(coarsen), "radius": int(radius),
+              "levels": len(binmaps),
+              "coarse_shape": pyramid[-1].shape,
+              "coarse_solver": coarsest_result.solver,
+              "coarse_value": float(coarsest_result.value),
+              "geometry_aligned": bool(problem.has_metric_cost),
+              "restricted_engine": level_info["engine"],
+              "sparse_support": level_info["sparse_support"],
+              "support_size": level_info["support_size"],
+              "support_density": level_info["support_density"],
+              "pyramid": diagnostics}
+    if level_info["state"] is not None:
+        extras["state"] = level_info["state"]
+        extras["warm_started"] = level_info["warm_started"]
+    # The restricted solves are exact on their supports, so convergence
+    # is a statement about *support quality*.  The coarse plans predict
+    # the finer optimal supports only when the cost is derived from the
+    # support geometry (metric family); for arbitrary explicit or
+    # callable costs the result stays honest and reports
+    # converged=False — the caller can raise `radius` or compare
+    # against an exact reference — unless the finest mask degenerated
+    # to the full product, where the restricted solve is the dense one.
+    certified = problem.has_metric_cost and coarsest_result.converged
+    return result_from_matrix(
+        problem, level_info["matrix"], value=level_info["value"],
+        converged=certified or level_info["full"],
+        n_iter=level_info["n_iter"], extras=extras)
+
+
+def _refine_level(problem: OTProblem, coarse_result: OTResult,
+                  source_bins: np.ndarray, target_bins: np.ndarray, *,
+                  radius: int, engine: str,
+                  sparse_support: bool | None) -> dict:
+    """One pyramid refine step: dilated support + exact restricted solve.
+
+    ``problem`` is the finer level, ``coarse_result`` the solved level
+    above it.  Returns the solved level as a dict: the plan ``matrix``
+    (CSR, densified past the density threshold), the ``value``, the
+    engine that actually ran, the warm-start/basis bookkeeping, and the
+    support diagnostics the solver aggregates into
+    ``extras["pyramid"]``.
+    """
+    mu, nu = problem.source_weights, problem.target_weights
+    n, m = problem.shape
     if sparse_support is None:
-        sparse_support = (n * m > _SPARSE_SUPPORT_LIMIT
-                          and problem.has_metric_cost
-                          and problem.support_mask is None)
-    if sparse_support:
+        use_sparse = (n * m > _SPARSE_SUPPORT_LIMIT
+                      and problem.has_metric_cost
+                      and problem.support_mask is None)
+    else:
+        use_sparse = bool(sparse_support)
+    if use_sparse:
         rows, cols = _sparse_refined_support(
             coarse_result, source_bins, target_bins, radius, problem)
         full = rows.size == n * m
@@ -292,47 +443,77 @@ def _solve_multiscale(problem: OTProblem, *, coarsen: int | None = None,
         rows, cols = np.nonzero(mask)
         full = bool(mask.all())
 
+    if engine in ("banded", "auto") and _banded_certifiable(problem):
+        # The raw refined support is a union of the dilated coarse band
+        # and the staircase, which can leave per-row holes that fail
+        # the band certificate and silently demote the solve to simplex
+        # pivoting.  Widening to the monotone band envelope is free
+        # exactness-wise (a superset still contains the optimal
+        # monotone plan) and makes the certificate structural.
+        enveloped = _band_envelope_support(rows, cols, n, m)
+        if enveloped is not None:
+            rows, cols = enveloped
+            full = rows.size == n * m
+
     init = None
-    if restricted_engine == "network_simplex":
+    if engine != "lp" and not _banded_certifiable(problem):
+        # The level above solved its restricted problem with the
+        # network simplex: lift its optimal basis onto this level's
+        # grid and start pivoting from there.  Only worthwhile off the
+        # monotone-certified family: there the cold staircase init IS
+        # the optimal basis, and a cross-grid lift *displaces* parts of
+        # it (measured at n = 10⁴: 41k recovery pivots warm vs 9 cold),
+        # while for explicit/callable costs the coarse basis is the
+        # only structural information available.
         coarse_state = coarse_result.extras.get("state")
         if isinstance(coarse_state, NetworkSimplexState):
-            # A stacked coarse level solved its own restricted problem
-            # with the network simplex: lift its optimal basis onto the
-            # fine grid and start pivoting from there.
             init = refine_state(coarse_state, source_bins, target_bins,
                                 mu, nu)
     cost_values = _cost_entries(problem, rows, cols)
-    matrix, nit, value, state = _restricted_exact_entries(
+    matrix, nit, value, state, engine_used = _restricted_exact_entries(
         cost_values, rows, cols, (n, m), mu, nu,
-        engine=restricted_engine, init=init, sparse_output=True)
+        engine=engine, init=init, sparse_output=True,
+        monotone_certified=_banded_certifiable(problem))
     if matrix.nnz / float(n * m) > SPARSE_DENSITY_THRESHOLD:
         matrix = matrix.toarray()
+    return {"matrix": matrix, "value": value, "n_iter": nit,
+            "state": state, "engine": engine_used,
+            "warm_started": (init is not None
+                             and engine_used == "network_simplex"),
+            "support_size": int(rows.size),
+            "support_density": float(rows.size / (n * m)),
+            "sparse_support": bool(use_sparse), "full": full}
 
-    extras = {"coarsen": int(coarsen), "radius": int(radius),
-              "coarse_shape": coarse.shape,
-              "coarse_solver": coarse_result.solver,
-              "coarse_value": float(coarse_result.value),
-              "geometry_aligned": bool(problem.has_metric_cost),
-              "restricted_engine": restricted_engine,
-              "sparse_support": bool(sparse_support),
-              "support_size": int(rows.size),
-              "support_density": float(rows.size / (n * m))}
-    if state is not None:
-        extras["state"] = state
-        extras["warm_started"] = init is not None
-    # The restricted solve is exact on its support, so convergence is a
-    # statement about *support quality*.  The coarse plan predicts the
-    # fine optimal support only when the cost is derived from the
-    # support geometry (metric family); for arbitrary explicit or
-    # callable costs the result stays honest and reports
-    # converged=False — the caller can raise `radius` or compare
-    # against an exact reference — unless the mask degenerated to the
-    # full product, where the restricted solve is the dense one.
-    certified = problem.has_metric_cost and coarse_result.converged
-    return result_from_matrix(
-        problem, matrix, value=value,
-        converged=certified or full,
-        n_iter=nit, extras=extras)
+
+def _band_envelope_support(rows: np.ndarray, cols: np.ndarray, n: int,
+                           m: int):
+    """Widen lex-sorted support arcs to their monotone band envelope.
+
+    Takes the per-row column interval hull, then forces the lower edge
+    non-decreasing with a suffix minimum and the upper edge with a
+    prefix maximum — the smallest superset of the support that
+    :func:`~repro.ot.coupling.is_banded` certifies.  Returns the
+    widened ``(rows, cols)`` (lex-sorted, duplicate-free), or ``None``
+    when some row carries no arc (nothing guarantees a feasible band
+    there, so the caller keeps the raw support and the simplex engine).
+    """
+    counts = np.bincount(rows, minlength=n)
+    if rows.size == 0 or np.any(counts == 0):
+        return None
+    starts = np.concatenate([[0], np.cumsum(counts)[:-1]])
+    lower = np.minimum.accumulate(cols[starts][::-1])[::-1]
+    upper = np.maximum.accumulate(cols[starts + counts - 1])
+    widths = upper - lower + 1
+    band_rows = np.repeat(np.arange(n), widths)
+    offsets = np.cumsum(widths) - widths
+    band_cols = (np.arange(int(widths.sum()))
+                 - np.repeat(offsets, widths)
+                 + np.repeat(lower, widths))
+    if band_cols.size >= n * m:
+        # Degenerate geometry: the envelope is the full product; the
+        # raw support is strictly cheaper to solve on.
+        return None
+    return band_rows, band_cols
 
 
 def _sparse_refined_support(coarse_result: OTResult,

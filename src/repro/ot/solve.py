@@ -67,15 +67,18 @@ import numpy as np
 from scipy import sparse
 
 from ..core.backend import get_backend
-from ..exceptions import ConvergenceError, ValidationError
+from ..exceptions import (ConvergenceError, InfeasibleProblemError,
+                          ValidationError)
 from .cost import pointwise_cost
 from .coupling import (SPARSE_DENSITY_THRESHOLD, TransportPlan,
-                       _inner_product as _plan_inner_product)
+                       _inner_product as _plan_inner_product, band_bounds,
+                       is_banded)
 from .lp import _linprog_with_presolve_retry, _lp_matrix
 from .network_simplex import (NetworkSimplexState, _arc_cost_entries,
                               _transport_simplex_core, network_simplex_arcs)
-from .onedim import (_staircase_walk, batched_north_west_corner,
-                     north_west_corner, north_west_corner_support)
+from .onedim import (_staircase_walk, banded_monotone_transport,
+                     batched_north_west_corner, north_west_corner,
+                     north_west_corner_support)
 from .problem import (_MONOTONE_METRICS, OTBatch, OTProblem, OTResult,
                       result_from_matrix)
 from .registry import (filter_opts, register_batch_solver, register_solver,
@@ -791,8 +794,12 @@ def _solve_screened(problem: OTProblem, *, epsilon: float = 1e-2,
     ``restricted_engine`` selects the exact engine for the restricted
     solve: the native sparse arc-list network simplex
     (:func:`~repro.ot.network_simplex.network_simplex_arcs`, the
-    default) or ``"lp"`` for the scipy HiGHS oracle it is differentially
-    tested against.
+    default), ``"lp"`` for the scipy HiGHS oracle it is differentially
+    tested against, ``"banded"`` for the O(n + m) monotone band kernel
+    (exact only for convex metric costs on sorted 1-D supports whose
+    screened support is a contiguous band — anything else falls back to
+    the simplex), or ``"auto"`` to pick banded exactly when that
+    certificate holds.
 
     ``epsilon_scaling=True`` runs the Sinkhorn screen as an annealing
     loop instead of a single cold solve: ``n_scales`` geometrically
@@ -866,14 +873,15 @@ def _solve_screened(problem: OTProblem, *, epsilon: float = 1e-2,
     # CSR-backed: downstream consumers (TransportPlan sampling, v2 plan
     # archives) then stay O(nnz) instead of O(n*m).  Dense problems small
     # enough for the plan to exceed the density threshold stay dense.
-    matrix, nit, value, state = _restricted_exact_entries(
+    matrix, nit, value, state, engine_used = _restricted_exact_entries(
         cost[rows, cols], rows, cols, (n, m), mu, nu,
-        engine=restricted_engine, init=state, sparse_output=True)
+        engine=restricted_engine, init=state, sparse_output=True,
+        monotone_certified=_banded_certifiable(problem))
     if sparse.issparse(matrix) \
             and matrix.nnz / float(n * m) > SPARSE_DENSITY_THRESHOLD:
         matrix = matrix.toarray()
     extras = {"epsilon": epsilon, "k": int(k),
-              "restricted_engine": restricted_engine,
+              "restricted_engine": engine_used,
               "screen_method": "sinkhorn",
               "support_size": int(mask.sum()),
               "support_density": float(mask.mean()),
@@ -981,14 +989,15 @@ def _screened_band(problem: OTProblem, *, k: int, epsilon: float,
     n, m = problem.shape
     rows, cols = _band_screen_support(problem, k)
     cost_values = _arc_cost_entries(problem, rows, cols)
-    matrix, nit, value, state = _restricted_exact_entries(
+    matrix, nit, value, state, engine_used = _restricted_exact_entries(
         cost_values, rows, cols, (n, m), mu, nu,
-        engine=restricted_engine, sparse_output=True)
+        engine=restricted_engine, sparse_output=True,
+        monotone_certified=_banded_certifiable(problem))
     density = rows.size / float(n * m)
     if sparse.issparse(matrix) and density > SPARSE_DENSITY_THRESHOLD:
         matrix = matrix.toarray()
     extras = {"epsilon": epsilon, "k": int(k),
-              "restricted_engine": restricted_engine,
+              "restricted_engine": engine_used,
               "screen_method": "band",
               "support_size": int(rows.size),
               "support_density": float(density),
@@ -1098,13 +1107,82 @@ def _solve_auto(problem: OTProblem, **opts) -> OTResult:
                    extras={**inner.extras, "dispatched_to": inner.solver})
 
 
+#: Engine names `_restricted_exact_entries` accepts (and the public
+#: ``restricted_engine=`` knob of the screened/multiscale hybrids).
+RESTRICTED_ENGINES = ("network_simplex", "lp", "banded", "auto")
+
+
+def _banded_certifiable(problem: OTProblem) -> bool:
+    """True when the ``"banded"`` restricted engine is provably exact
+    for ``problem``: 1-D supports, a convex ``|x - y|^p``-family cost
+    derived from them, and both supports already in sorted order (the
+    banded kernel works in index space, so index order must *be*
+    support order for the monotone staircase to be optimal)."""
+    if not problem.is_one_dimensional or not problem.has_metric_cost:
+        return False
+    if problem.cost_fn is not None \
+            and problem.cost_fn not in _MONOTONE_METRICS:
+        return False
+    return (bool(np.all(np.diff(problem.source_support.ravel()) >= 0.0))
+            and bool(np.all(np.diff(problem.target_support.ravel())
+                            >= 0.0)))
+
+
+def _restricted_banded_entries(cost_values: np.ndarray, rows: np.ndarray,
+                               cols: np.ndarray, shape: tuple,
+                               mu: np.ndarray, nu: np.ndarray, *,
+                               sparse_output: bool):
+    """The banded fast path of :func:`_restricted_exact_entries`.
+
+    Certifies that the arc list is a monotone contiguous band
+    (:func:`~repro.ot.coupling.is_banded`), runs the O(n + m)
+    north-west-corner-with-repair kernel
+    (:func:`~repro.ot.onedim.banded_monotone_transport`), and prices the
+    result against ``cost_values`` through the band's closed-form arc
+    positions — no cost matrix, no pivots.  Returns ``None`` when the
+    certificate or the in-band feasibility check fails (the caller then
+    falls back to the network simplex), else ``(matrix, n_iter,
+    value)``.
+    """
+    n, m = shape
+    keys = np.asarray(rows, dtype=np.int64) * m + np.asarray(cols)
+    if keys.size > 1 and np.any(np.diff(keys) <= 0):
+        # Pricing below maps band positions into `cost_values` closed-
+        # form, which needs the lex-sorted deduped arc lists every
+        # hybrid caller produces; anything else goes to the simplex.
+        return None
+    if not is_banded(rows, cols, shape):
+        return None
+    lower, upper = band_bounds(rows, cols, shape)
+    try:
+        brows, bcols, masses = banded_monotone_transport(mu, nu, lower,
+                                                         upper)
+    except InfeasibleProblemError:
+        return None
+    # Certified band: arcs are lex-sorted with row i occupying the
+    # contiguous slice starting at `starts[i]`, so the position of arc
+    # (i, j) in `cost_values` is closed-form.
+    counts = upper - lower + 1
+    starts = np.concatenate([[0], np.cumsum(counts)[:-1]])
+    entry_costs = cost_values[starts[brows] + (bcols - lower[brows])]
+    value = float(np.dot(masses, entry_costs))
+    if sparse_output:
+        matrix = sparse.csr_array((masses, (brows, bcols)), shape=(n, m))
+        matrix.eliminate_zeros()
+    else:
+        matrix = np.zeros((n, m))
+        np.add.at(matrix, (brows, bcols), masses)
+    return matrix, 1, value
+
+
 def _restricted_exact_entries(cost_values: np.ndarray, rows: np.ndarray,
                               cols: np.ndarray, shape: tuple,
                               mu: np.ndarray, nu: np.ndarray, *,
                               engine: str = "network_simplex",
                               init: NetworkSimplexState | None = None,
                               presolve_retry: bool = True,
-                              sparse_output: bool = False):
+                              sparse_output: bool = False,
+                              monotone_certified: bool = False):
     """Exact solve over an explicit arc list, dispatched by engine.
 
     The single restricted-solve entry point behind the ``"screened"``
@@ -1112,19 +1190,42 @@ def _restricted_exact_entries(cost_values: np.ndarray, rows: np.ndarray,
     native sparse arc-list network simplex
     (:func:`~repro.ot.network_simplex.network_simplex_arcs`), which
     accepts a warm-start basis via ``init``; ``engine="lp"`` keeps the
-    scipy HiGHS oracle (``init`` is then ignored).  Returns
-    ``(matrix, n_iter, value, state)`` where ``state`` is the
-    network-simplex basis for reuse, or ``None`` on the LP path.
+    scipy HiGHS oracle (``init`` is then ignored); ``engine="banded"``
+    runs the O(n + m) monotone band kernel
+    (:func:`~repro.ot.onedim.banded_monotone_transport`) when the
+    caller certifies monotone optimality (``monotone_certified`` — a
+    convex metric cost on sorted 1-D supports, see
+    :func:`_banded_certifiable`) *and* the arc list is structurally a
+    monotone band (:func:`~repro.ot.coupling.is_banded`), falling back
+    to the network simplex otherwise; ``engine="auto"`` picks
+    ``"banded"`` exactly when ``monotone_certified`` and the simplex
+    otherwise.  Returns ``(matrix, n_iter, value, state, engine_used)``
+    where ``state`` is the network-simplex basis for reuse (``None``
+    for the LP and banded paths) and ``engine_used`` names the engine
+    that actually solved (so callers can report banded fallbacks).
     """
+    if engine not in RESTRICTED_ENGINES:
+        raise ValidationError(
+            "restricted_engine must be one of "
+            f"{RESTRICTED_ENGINES}, got {engine!r}")
+    if engine == "auto":
+        engine = "banded" if monotone_certified else "network_simplex"
     if engine == "lp":
         matrix, nit, value = _restricted_lp_entries(
             cost_values, rows, cols, shape, mu, nu,
             presolve_retry=presolve_retry, sparse_output=sparse_output)
-        return matrix, nit, value, None
-    if engine != "network_simplex":
-        raise ValidationError(
-            "restricted_engine must be 'network_simplex' or 'lp', got "
-            f"{engine!r}")
+        return matrix, nit, value, None, "lp"
+    if engine == "banded":
+        solved = None
+        if monotone_certified:
+            solved = _restricted_banded_entries(
+                cost_values, rows, cols, shape, mu, nu,
+                sparse_output=sparse_output)
+        if solved is not None:
+            matrix, nit, value = solved
+            return matrix, nit, value, None, "banded"
+        # Not certified (non-metric cost, unsorted supports, holes in
+        # the band): the simplex prices arbitrary sparse arc lists.
     outcome = network_simplex_arcs(rows, cols, cost_values, mu, nu,
                                    init=init)
     n, m = shape
@@ -1135,7 +1236,8 @@ def _restricted_exact_entries(cost_values: np.ndarray, rows: np.ndarray,
     else:
         matrix = np.zeros((n, m))
         matrix[rows, cols] = outcome.flows
-    return matrix, outcome.pivots, outcome.value, outcome.state
+    return (matrix, outcome.pivots, outcome.value, outcome.state,
+            "network_simplex")
 
 
 def _restricted_lp_matrix(cost: np.ndarray, mu: np.ndarray, nu: np.ndarray,

@@ -37,6 +37,25 @@ class TestFeaturePlan:
         with pytest.raises(ValidationError, match="no transport plan"):
             feature_plan.conditional_cdfs(2)
 
+    def test_sparse_conditional_cdfs_match_dense_and_memoise(self, rng):
+        samples = {0: rng.normal(-1.0, 1.0, size=60),
+                   1: rng.normal(1.0, 1.0, size=80)}
+        dense = design_feature_plan(samples, 20)
+        sparse = design_feature_plan(samples, 20, sparse_plans=True)
+        for s in (0, 1):
+            np.testing.assert_allclose(sparse.conditional_cdfs(s),
+                                       dense.conditional_cdfs(s),
+                                       atol=1e-12)
+        # Repeated inspection queries hit the bounded LRU memo instead
+        # of re-densifying the CSR plan (the PR 4 regression).
+        first = sparse.conditional_cdfs(0)
+        assert sparse.conditional_cdfs(0) is first
+        stats = sparse._sparse_cdf_cache.stats()
+        assert stats["hits"] >= 1
+        assert stats["capacity"] >= stats["size"]
+        # The dense path must not pay for the sparse memo.
+        assert dense._sparse_cdf_cache.stats()["misses"] == 0
+
     def test_expected_targets_within_grid(self, feature_plan):
         targets = feature_plan.expected_targets(1)
         assert targets.shape == (20,)

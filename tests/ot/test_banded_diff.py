@@ -1,0 +1,269 @@
+"""Differential tests: the banded monotone kernel vs the exact engines.
+
+``banded_monotone_transport`` skips *all* pricing — it asserts that the
+staircase coupling is optimal and merely checks it fits the band.  That
+argument is exactly the kind that fails silently if any ingredient is
+off (a non-monotone band accepted, a tie split differently than the
+oracle, a clamp hiding real infeasibility), so this suite generates
+randomized banded problems with hypothesis (smooth/tied/uniform
+marginals, staircase-hull and widened bands, degenerate width-1 bands,
+denormal cost scales) and checks the kernel against both exact
+restricted engines — :func:`repro.ot.network_simplex_arcs` and the
+scipy-LP oracle — asserting
+
+* objective agreement to ``1e-9`` at unit cost scale on the in-band
+  metric cost,
+* exact marginal feasibility of the returned masses, and
+* every returned entry lies inside the requested band.
+
+It also covers the certification helpers (``is_banded`` /
+``band_bounds``) and the end-to-end pyramid property that
+``levels=1`` reproduces the historical single-level multiscale solve.
+
+The budget scales with the hypothesis profile: the default ``repro``
+profile keeps tier-1 fast; the ``ci`` profile
+(``--hypothesis-profile=ci``, the ``simplex-stress`` CI job) runs the
+full stress budget.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+pytest.importorskip("hypothesis")
+
+from hypothesis import given, strategies as st  # noqa: E402
+
+from repro.exceptions import (InfeasibleProblemError,  # noqa: E402
+                              ValidationError)
+from repro.ot import (band_bounds, banded_monotone_transport,  # noqa: E402
+                      is_banded, network_simplex_arcs)
+from repro.ot.solve import _restricted_lp_entries  # noqa: E402
+
+#: Objective agreement with the exact engines, at unit cost scale.
+VALUE_TOL = 1e-9
+#: Marginal feasibility of the returned masses.
+FEAS_TOL = 1e-9
+
+
+def _marginal_errors(masses, rows, cols, mu, nu):
+    row_sums = np.bincount(rows, weights=masses, minlength=mu.size)
+    col_sums = np.bincount(cols, weights=masses, minlength=nu.size)
+    return (float(np.abs(row_sums - mu).max()),
+            float(np.abs(col_sums - nu).max()))
+
+
+def _band_arcs(lower, upper):
+    """All in-band arcs as lex-sorted ``(rows, cols)`` index arrays."""
+    widths = upper - lower + 1
+    rows = np.repeat(np.arange(lower.size), widths)
+    cols = np.concatenate([np.arange(lo, hi + 1)
+                           for lo, hi in zip(lower, upper)])
+    return rows, cols
+
+
+@st.composite
+def banded_problems(draw):
+    """A random monotone-banded problem plus its generation knobs.
+
+    Returns ``(mu, nu, lower, upper, xs, ys, scale)``.  The band is the
+    NW-staircase hull optionally widened by a random slack (so it is
+    always feasible and always monotone); supports are sorted, making
+    the squared-distance cost a certified-monotone metric cost on which
+    the staircase is the true restricted optimum.  ``slack=0`` yields
+    the tightest band — including fully degenerate width-1 bands when
+    the staircase is a bijection.
+    """
+    n = draw(st.integers(min_value=2, max_value=18))
+    m = draw(st.integers(min_value=2, max_value=18))
+    seed = draw(st.integers(min_value=0, max_value=2**32 - 1))
+    weight_kind = draw(st.sampled_from(["smooth", "tied", "uniform"]))
+    slack = draw(st.sampled_from([0, 1, 3]))
+    scale = draw(st.sampled_from([1.0, 1e-9, 1e-300]))
+    rng = np.random.default_rng(seed)
+
+    if weight_kind == "smooth":
+        mu = rng.dirichlet(np.ones(n))
+        nu = rng.dirichlet(np.ones(m))
+    elif weight_kind == "tied":
+        # Small integer ratios: maximal staircase ties, so the walk
+        # closes row and column simultaneously (degenerate steps).
+        mu = rng.integers(1, 4, size=n).astype(float)
+        nu = rng.integers(1, 4, size=m).astype(float)
+        mu /= mu.sum()
+        nu /= nu.sum()
+    else:
+        mu = np.full(n, 1.0 / n)
+        nu = np.full(m, 1.0 / m)
+
+    from repro.ot import north_west_corner_support
+    nw_rows, nw_cols = north_west_corner_support(mu, nu)
+    lower, upper = band_bounds(nw_rows, nw_cols, (n, m))
+    if slack:
+        # Widening the hull keeps both endpoint sequences monotone.
+        lower = np.maximum(lower - slack, 0)
+        upper = np.minimum(upper + slack, m - 1)
+
+    xs = np.sort(rng.normal(size=n))
+    ys = np.sort(rng.normal(size=m))
+    return mu, nu, lower, upper, xs, ys, scale
+
+
+class TestDifferentialOracle:
+    @given(problem=banded_problems())
+    def test_matches_both_exact_engines(self, problem):
+        mu, nu, lower, upper, xs, ys, scale = problem
+        rows, cols, masses = banded_monotone_transport(mu, nu, lower,
+                                                       upper)
+        assert np.all(cols >= lower[rows]) and np.all(cols <= upper[rows])
+        row_err, col_err = _marginal_errors(masses, rows, cols, mu, nu)
+        assert row_err <= FEAS_TOL and col_err <= FEAS_TOL
+        assert np.all(masses > 0.0)
+
+        arc_rows, arc_cols = _band_arcs(lower, upper)
+        base_costs = np.square(xs[arc_rows] - ys[arc_cols])
+        cost_of = {}
+        for r, c, v in zip(arc_rows, arc_cols, base_costs):
+            cost_of[(r, c)] = v
+        value = sum(w * cost_of[(r, c)]
+                    for r, c, w in zip(rows, cols, masses))
+
+        simplex = network_simplex_arcs(arc_rows, arc_cols,
+                                       base_costs * scale, mu, nu)
+        _, _, lp_value = _restricted_lp_entries(
+            base_costs, arc_rows, arc_cols, (mu.size, nu.size), mu, nu)
+        assert value == pytest.approx(simplex.value / scale, abs=VALUE_TOL)
+        assert value == pytest.approx(lp_value, abs=VALUE_TOL)
+
+    @given(problem=banded_problems())
+    def test_band_certifiers_accept_generated_bands(self, problem):
+        mu, nu, lower, upper, _, _, _ = problem
+        rows, cols = _band_arcs(lower, upper)
+        shape = (mu.size, nu.size)
+        assert is_banded(rows, cols, shape)
+        re_lower, re_upper = band_bounds(rows, cols, shape)
+        assert np.array_equal(re_lower, lower)
+        assert np.array_equal(re_upper, upper)
+
+
+class TestBandCertification:
+    def test_band_bounds_hull(self):
+        rows = np.array([0, 0, 1, 1, 2])
+        cols = np.array([0, 2, 1, 3, 3])
+        lower, upper = band_bounds(rows, cols, (3, 4))
+        assert lower.tolist() == [0, 1, 3]
+        assert upper.tolist() == [2, 3, 3]
+
+    def test_band_bounds_requires_covered_rows(self):
+        with pytest.raises(ValidationError, match="every row"):
+            band_bounds(np.array([0, 2]), np.array([0, 1]), (3, 2))
+
+    def test_is_banded_rejects_holes(self):
+        # Row 0 covers {0, 2} but not 1: an interval hull lies.
+        rows = np.array([0, 0, 1])
+        cols = np.array([0, 2, 2])
+        assert not is_banded(rows, cols, (2, 3))
+
+    def test_is_banded_rejects_non_monotone_bands(self):
+        # Contiguous rows, but the lower edge goes back up-left.
+        rows = np.array([0, 1])
+        cols = np.array([1, 0])
+        assert not is_banded(rows, cols, (2, 2))
+
+    def test_is_banded_tolerates_duplicate_arcs(self):
+        rows = np.array([0, 0, 0, 1])
+        cols = np.array([0, 0, 1, 1])
+        assert is_banded(rows, cols, (2, 2))
+
+
+class TestDegenerateBands:
+    def test_width_one_identity_band(self):
+        # lo == hi everywhere: the only feasible plan is the diagonal,
+        # which is also what the staircase produces when mu == nu.
+        mu = np.array([0.2, 0.3, 0.5])
+        idx = np.arange(3)
+        rows, cols, masses = banded_monotone_transport(mu, mu, idx, idx)
+        assert rows.tolist() == cols.tolist() == idx.tolist()
+        assert np.allclose(masses, mu)
+
+    def test_width_one_infeasible_band_raises(self):
+        # The staircase must spill mass outside a diagonal band when
+        # the marginals differ by more than the repair tolerance.
+        mu = np.array([0.5, 0.5])
+        nu = np.array([0.25, 0.75])
+        with pytest.raises(InfeasibleProblemError, match="band"):
+            banded_monotone_transport(mu, nu, np.array([0, 1]),
+                                      np.array([0, 1]))
+
+    def test_roundoff_stray_mass_is_clamped(self):
+        # Stray mass at the repair tolerance is snapped to the band
+        # edge instead of failing the whole restricted solve.
+        eps = 1e-14
+        mu = np.array([0.5, 0.5])
+        nu = np.array([0.5 - eps, 0.5 + eps])
+        rows, cols, masses = banded_monotone_transport(
+            mu, nu, np.array([0, 1]), np.array([0, 1]))
+        assert np.all(cols >= np.array([0, 1])[rows])
+        assert float(masses.sum()) == pytest.approx(1.0, abs=1e-12)
+
+    def test_band_validation(self):
+        mu = np.array([0.5, 0.5])
+        with pytest.raises(ValidationError, match="monotone"):
+            banded_monotone_transport(mu, mu, np.array([1, 0]),
+                                      np.array([1, 1]))
+        with pytest.raises(ValidationError, match="lower"):
+            banded_monotone_transport(mu, mu, np.array([1, 1]),
+                                      np.array([0, 1]))
+        with pytest.raises(ValidationError, match="band bounds"):
+            banded_monotone_transport(mu, mu, np.array([0, 1]),
+                                      np.array([1, 2]))
+
+
+class TestPyramidProperties:
+    """End-to-end hypothesis properties of the v2 multiscale pyramid."""
+
+    @staticmethod
+    def _mixture_problem(n, seed):
+        from repro.ot import OTProblem
+        rng = np.random.default_rng(seed)
+        nodes = np.linspace(-3.0, 3.0, n)
+        mu = (np.exp(-0.5 * (nodes - rng.uniform(-1, 1)) ** 2)
+              + rng.uniform(0.1, 0.5)
+              * np.exp(-2.0 * (nodes - rng.uniform(-1, 1)) ** 2))
+        nu = np.exp(-0.5 * (nodes - rng.uniform(-1, 1)) ** 2 /
+                    rng.uniform(0.5, 1.5) ** 2)
+        return OTProblem(source_weights=mu / mu.sum(),
+                         target_weights=nu / nu.sum(),
+                         source_support=nodes, target_support=nodes)
+
+    @given(n=st.integers(min_value=40, max_value=200),
+           seed=st.integers(min_value=0, max_value=2**32 - 1),
+           coarsen=st.sampled_from([3, 4, 6]))
+    def test_banded_pyramid_matches_simplex_pyramid(self, n, seed,
+                                                    coarsen):
+        from repro.ot import solve
+        problem = self._mixture_problem(n, seed)
+        banded = solve(problem, method="multiscale", coarsen=coarsen,
+                       restricted_engine="banded")
+        simplex = solve(problem, method="multiscale", coarsen=coarsen,
+                        restricted_engine="network_simplex")
+        assert banded.extras["restricted_engine"] == "banded"
+        assert banded.value == pytest.approx(simplex.value, abs=VALUE_TOL)
+        assert np.allclose(banded.plan.toarray(), simplex.plan.toarray(),
+                           atol=1e-9)
+
+    @given(n=st.integers(min_value=40, max_value=160),
+           seed=st.integers(min_value=0, max_value=2**32 - 1))
+    def test_single_level_pin_and_deeper_levels_agree(self, n, seed):
+        """``levels=1`` is the historical single-level solver; deeper
+        pyramids must reach the same (exact-oracle) optimum."""
+        from repro.ot import solve
+        problem = self._mixture_problem(n, seed)
+        oracle = solve(problem, method="exact")
+        single = solve(problem, method="multiscale", coarsen=4, levels=1)
+        deep = solve(problem, method="multiscale", coarsen=4, levels=2)
+        assert single.extras["levels"] == 1
+        assert deep.extras["levels"] == 2
+        assert single.value == pytest.approx(oracle.value, rel=1e-9)
+        assert deep.value == pytest.approx(oracle.value, rel=1e-9)

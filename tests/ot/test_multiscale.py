@@ -324,22 +324,169 @@ class TestRestrictedEngine:
         assert np.allclose(sparse_path.plan.toarray(),
                            dense_path.plan.toarray(), atol=1e-9)
 
-    def test_stacked_levels_warm_start_the_fine_solve(self):
-        # coarse_method="multiscale" solves the coarse level with the
-        # same machinery, whose extras carry a NetworkSimplexState; the
-        # fine restricted solve must lift that basis via refine_state
-        # and report the warm start.
-        problem = gaussian_grid_problem(240)
+    def test_pyramid_levels_warm_start_the_fine_solve(self):
+        # With two pyramid levels the intermediate restricted solve
+        # leaves a NetworkSimplexState in its extras; the finest level
+        # must lift that basis via refine_state and report the warm
+        # start in its per-level diagnostics.  Basis lifts only apply
+        # off the monotone-certified family (an explicit cost here) —
+        # on certified problems the cold staircase basis is already
+        # optimal and the lift is deliberately skipped.
+        problem = gaussian_grid_problem(240, explicit_cost=True)
         stacked = solve(problem, method="multiscale", coarsen=4,
-                        coarse_method="multiscale")
+                        levels=2, restricted_engine="network_simplex")
+        assert stacked.extras["levels"] == 2
+        pyramid = stacked.extras["pyramid"]
+        assert [info["warm_started"] for info in pyramid] == [False, True]
         assert stacked.extras["warm_started"] is True
         from repro.ot import NetworkSimplexState
         assert isinstance(stacked.extras["state"], NetworkSimplexState)
-        cold = solve(problem, method="multiscale", coarsen=4)
+        cold = solve(problem, method="multiscale", coarsen=4, levels=1,
+                     restricted_engine="network_simplex")
         assert stacked.value == pytest.approx(cold.value, abs=1e-9)
+
+    def test_certified_pyramid_skips_the_basis_lift(self):
+        # Metric cost + sorted supports: the staircase init is optimal,
+        # so no level reports a warm start even on the simplex engine.
+        result = solve(gaussian_grid_problem(240), method="multiscale",
+                       coarsen=4, levels=2,
+                       restricted_engine="network_simplex")
+        assert all(info["warm_started"] is False
+                   for info in result.extras["pyramid"])
 
     def test_lp_engine_reports_no_state(self):
         result = solve(gaussian_grid_problem(90), method="multiscale",
                        coarsen=4, restricted_engine="lp")
         assert "state" not in result.extras
         assert "warm_started" not in result.extras
+
+    def test_banded_engine_matches_simplex_and_lp(self):
+        problem = gaussian_grid_problem(150)
+        banded = solve(problem, method="multiscale", coarsen=5,
+                       restricted_engine="banded")
+        native = solve(problem, method="multiscale", coarsen=5,
+                       restricted_engine="network_simplex")
+        oracle = solve(problem, method="multiscale", coarsen=5,
+                       restricted_engine="lp")
+        assert banded.extras["restricted_engine"] == "banded"
+        assert banded.value == pytest.approx(native.value, abs=1e-9)
+        assert banded.value == pytest.approx(oracle.value, abs=1e-9)
+        assert np.allclose(banded.plan.toarray(), native.plan.toarray(),
+                           atol=1e-9)
+        assert banded.marginal_residual <= 1e-9
+
+    def test_auto_engine_selects_banded_on_metric_cells(self):
+        # Sorted supports + metric cost certify monotone optimality, so
+        # the default engine="auto" must route the refine to the banded
+        # kernel (no simplex pivots) and report it.
+        result = solve(gaussian_grid_problem(200), method="multiscale")
+        assert result.extras["restricted_engine"] == "banded"
+        assert "state" not in result.extras
+
+    def test_auto_engine_keeps_simplex_off_the_metric_family(self):
+        # An explicit cost matrix voids the monotone certificate: auto
+        # must stay on the exact simplex engine.
+        result = solve(gaussian_grid_problem(120, explicit_cost=True),
+                       method="multiscale", coarsen=4)
+        assert result.extras["restricted_engine"] == "network_simplex"
+
+    def test_banded_engine_falls_back_without_certificate(self):
+        # Asking for "banded" outright on an uncertified problem is not
+        # an error — the dispatcher silently falls back to the simplex
+        # and reports the engine that actually ran.
+        result = solve(gaussian_grid_problem(100, explicit_cost=True),
+                       method="multiscale", coarsen=4,
+                       restricted_engine="banded")
+        assert result.extras["restricted_engine"] == "network_simplex"
+        lp = solve(gaussian_grid_problem(100, explicit_cost=True),
+                   method="lp")
+        assert result.value == pytest.approx(lp.value, rel=1e-6)
+
+
+class TestPyramid:
+    """The automatic multi-level pyramid: depth control, per-level
+    diagnostics, and equivalence with the historical single-level
+    solve at ``levels=1``."""
+
+    def test_auto_depth_coarsens_below_leaf_size(self):
+        from repro.ot.multiscale import PYRAMID_LEAF_SIZE
+
+        problem = gaussian_grid_problem(2400)
+        result = solve(problem, method="multiscale", coarsen=4)
+        assert result.extras["levels"] >= 2
+        assert max(result.extras["coarse_shape"]) <= PYRAMID_LEAF_SIZE
+        assert result.extras["coarse_solver"] == "exact"
+        assert result.converged
+
+    def test_pyramid_diagnostics_per_level(self):
+        result = solve(gaussian_grid_problem(1600), method="multiscale",
+                       coarsen=4)
+        pyramid = result.extras["pyramid"]
+        assert len(pyramid) == result.extras["levels"]
+        # Levels are reported coarse-to-fine and end at the full shape.
+        shapes = [info["shape"] for info in pyramid]
+        assert shapes[-1] == (1600, 1600)
+        assert all(s_prev < s_next for (s_prev, _), (s_next, _)
+                   in zip(shapes, shapes[1:]))
+        for info in pyramid:
+            assert info["engine"] in ("network_simplex", "lp", "banded")
+            assert 0.0 < info["support_density"] <= 1.0
+            assert info["support_size"] > 0
+        # The finest level's engine is what the result reports.
+        assert result.extras["restricted_engine"] == pyramid[-1]["engine"]
+
+    def test_levels_one_matches_historical_single_level(self):
+        # levels=1 must reproduce the pre-pyramid solver exactly: one
+        # coarsening, one restricted solve on the dilated support.
+        problem = gaussian_grid_problem(300)
+        pinned = solve(problem, method="multiscale", coarsen=4, levels=1,
+                       restricted_engine="network_simplex")
+        assert pinned.extras["levels"] == 1
+        assert pinned.extras["coarse_shape"] == (75, 75)
+        auto = solve(problem, method="multiscale", coarsen=4,
+                     restricted_engine="network_simplex")
+        assert pinned.value == pytest.approx(auto.value, abs=1e-9)
+
+    def test_deeper_pyramids_agree_with_exact_oracle(self):
+        # The problem is monotone-solvable, so the closed-form solver
+        # is a free exactness oracle at any size.
+        problem = gaussian_grid_problem(900)
+        oracle = solve(problem, method="exact")
+        for levels in (1, 2, 3):
+            result = solve(problem, method="multiscale", coarsen=4,
+                           levels=levels)
+            assert result.extras["levels"] == levels
+            assert result.value == pytest.approx(oracle.value,
+                                                 rel=1e-9), levels
+            assert result.marginal_residual <= 1e-8
+
+    def test_levels_validated(self):
+        problem = gaussian_grid_problem(80)
+        with pytest.raises(ValidationError, match="levels"):
+            solve(problem, method="multiscale", levels=0)
+        with pytest.raises(ValidationError, match="levels"):
+            solve(problem, method="multiscale", levels="deep")
+
+    def test_depth_capped_when_reduction_stalls(self):
+        # A tiny problem cannot coarsen below the minimum coarse size;
+        # the pyramid must stop instead of stacking no-op levels.
+        result = solve(gaussian_grid_problem(24), method="multiscale",
+                       coarsen=4, levels=6)
+        assert result.extras["levels"] < 6
+        assert result.marginal_residual <= 1e-8
+
+
+class TestTuningPins:
+    """Pins for the v2-tuned dispatch constants, measured by
+    ``benchmarks/test_multiscale_scaling.py`` (committed tables in
+    ``benchmarks/results/multiscale.txt`` / ``BENCH_multiscale.json``).
+    The banded pyramid keeps per-level work linear, so small factors
+    and an early handoff from the LP remain optimal; a silent formula
+    change must fail here, next to the sweep that justifies it."""
+
+    def test_auto_limit_pinned_to_sweep(self):
+        assert MULTISCALE_AUTO_LIMIT == 2000
+
+    def test_default_coarsen_factor_pinned_to_sweep(self):
+        for n in (500, 2000, 10_000, 1_000_000):
+            assert default_coarsen_factor(n) == 4
